@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper (see DESIGN.md
+section 4) and, besides timing the underlying operation with
+pytest-benchmark, writes the regenerated artefact to ``benchmarks/out/`` so
+the reproduction can be inspected and diffed against the paper.
+"""
+
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture
+def artifact():
+    """Write a regenerated table/figure to benchmarks/out/<name>.txt."""
+
+    def write(name: str, text: str) -> None:
+        OUT_DIR.mkdir(exist_ok=True)
+        path = OUT_DIR / "{}.txt".format(name)
+        path.write_text(text, encoding="utf-8")
+        print("\n--- {} ---".format(name))
+        print(text)
+
+    return write

@@ -1,0 +1,45 @@
+"""repro -- security checking of automotive ECUs with formal CSP models.
+
+A complete, from-scratch reproduction of
+
+    Heneghan, Shaikh, Bryans, Cheah, Wooderson.
+    "Enabling Security Checking of Automotive ECUs with Formal CSP Models."
+    DSN-W 2019.
+
+The package provides every stage of the paper's Fig. 1 toolchain:
+
+* :mod:`repro.csp`        -- the CSP process algebra, trace semantics, LTSs
+* :mod:`repro.fdr`        -- the refinement checker (FDR substitute)
+* :mod:`repro.cspm`       -- the machine-readable CSP dialect (parse/emit)
+* :mod:`repro.capl`       -- CAPL: parser and bus-attached interpreter
+* :mod:`repro.canbus`     -- the simulated CAN network (CANoe substitute)
+* :mod:`repro.candb`      -- CAN databases (.dbc) and their CSPm export
+* :mod:`repro.translator` -- the model extractor: CAPL -> CSPm
+* :mod:`repro.security`   -- Dolev-Yao intruders, attack trees, properties
+* :mod:`repro.testgen`    -- model-based test generation + conformance runs
+* :mod:`repro.ota`        -- the X.1373 software-update case study
+
+Quickstart::
+
+    from repro.ota import run_workflow
+    report = run_workflow(flawed=True)   # seed the integrity defect
+    print(report.summary())              # SP02 fails with the insecure trace
+"""
+
+from . import canbus, candb, capl, csp, cspm, fdr, ota, security, testgen, translator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "canbus",
+    "candb",
+    "capl",
+    "csp",
+    "cspm",
+    "fdr",
+    "ota",
+    "security",
+    "testgen",
+    "translator",
+    "__version__",
+]

@@ -1,0 +1,132 @@
+"""The simulated CAN bus with identifier-based arbitration.
+
+Transmission requests from nodes queue at the bus.  Whenever the bus goes
+idle the pending frame with the dominant (lowest) identifier wins
+arbitration -- the defining media-access rule of CAN -- occupies the bus for
+its wire time at the configured bitrate, is logged, and is then delivered to
+every attached node except the transmitter.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, TYPE_CHECKING, Tuple
+
+from .frame import CanFrame
+from .scheduler import Scheduler
+from .tracelog import TraceLog
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .node import CanNode
+
+
+class CanBus:
+    """A single CAN segment: nodes, arbitration, delivery and logging."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        bitrate: int = 500_000,
+        name: str = "CAN1",
+    ) -> None:
+        if bitrate <= 0:
+            raise ValueError("bitrate must be positive")
+        self.scheduler = scheduler
+        self.bitrate = bitrate
+        self.name = name
+        self.log = TraceLog()
+        self.nodes: List["CanNode"] = []
+        self._pending: List[Tuple[int, "CanNode", CanFrame]] = []
+        self._pending_seq = 0
+        self._busy = False
+        #: optional fault-injection hook: return False to drop a frame
+        #: (used by attack scenarios to model jamming / selective drops)
+        self.delivery_filter: Optional[Callable[["CanNode", CanFrame], bool]] = None
+
+    # -- membership ---------------------------------------------------------------
+
+    def attach(self, node: "CanNode") -> None:
+        if node in self.nodes:
+            raise ValueError("node {!r} already attached".format(node.name))
+        self.nodes.append(node)
+
+    def detach(self, node: "CanNode") -> None:
+        self.nodes.remove(node)
+
+    # -- transmission -----------------------------------------------------------------
+
+    def frame_time_us(self, frame: CanFrame) -> int:
+        """Wire occupancy of a frame at the configured bitrate, in microseconds."""
+        return max(1, (frame.bit_length() * 1_000_000) // self.bitrate)
+
+    def transmit(self, sender: "CanNode", frame: CanFrame) -> None:
+        """Request transmission; the frame enters arbitration."""
+        self._pending.append((self._pending_seq, sender, frame))
+        self._pending_seq += 1
+        if not self._busy:
+            self._start_arbitration()
+
+    def _start_arbitration(self) -> None:
+        if self._busy or not self._pending:
+            return
+        # dominant (lowest) identifier wins; FIFO among equal identifiers
+        winner = min(
+            self._pending, key=lambda item: (item[2].arbitration_key(), item[0])
+        )
+        self._pending.remove(winner)
+        _, sender, frame = winner
+        self._busy = True
+        self.scheduler.after(
+            self.frame_time_us(frame), lambda: self._complete(sender, frame)
+        )
+
+    def _complete(self, sender: "CanNode", frame: CanFrame) -> None:
+        self._busy = False
+        dropped = False
+        if self.delivery_filter is not None and not self.delivery_filter(sender, frame):
+            dropped = True
+        if not dropped:
+            self.log.record(self.scheduler.now, sender.name, frame)
+            for node in list(self.nodes):
+                if node is not sender:
+                    node.deliver(frame)
+        self._start_arbitration()
+
+    # -- error handling -----------------------------------------------------------------
+
+    def inject_error_frame(self) -> None:
+        """Broadcast an error frame: every node's error handler fires.
+
+        Error frames are not data frames (they never reach the trace log's
+        message stream); they model electrical faults or deliberate
+        error-flag flooding -- the classic bus-off attack vector.
+        """
+        for node in list(self.nodes):
+            node.on_error_frame()
+
+    def force_bus_off(self, node: "CanNode") -> None:
+        """Drive *node* into bus-off: it is detached and notified.
+
+        Real CAN controllers go bus-off when their transmit error counter
+        exceeds 255; here the transition is commanded directly (by a test or
+        an attack scenario) since we do not simulate bit-level errors.
+        """
+        if node in self.nodes:
+            self.detach(node)
+            node.on_bus_off()
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Fire every node's start handler (CANoe's measurement start)."""
+        for node in list(self.nodes):
+            node.on_start()
+
+    def run(self, until: Optional[int] = None, max_events: int = 1_000_000) -> int:
+        """Start all nodes (if not yet started) and run the simulation."""
+        return self.scheduler.run(until, max_events)
+
+    def simulate(self, until: Optional[int] = None, max_events: int = 1_000_000) -> TraceLog:
+        """Convenience: start nodes, run to completion, return the trace log."""
+        self.start()
+        self.run(until, max_events)
+        return self.log

@@ -1,0 +1,107 @@
+"""CAN frames.
+
+A CAN data frame carries an 11-bit (or 29-bit extended) identifier and up to
+8 data bytes.  The identifier doubles as the arbitration priority: lower
+numeric identifiers win the bus.  Frames here also carry an optional symbolic
+*name* (the message name from a CANdb database), which is how the CAPL layer
+and the model extractor refer to them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple
+
+MAX_STANDARD_ID = 0x7FF
+MAX_EXTENDED_ID = 0x1FFFFFFF
+MAX_DLC = 8
+
+
+class CanFrame:
+    """An immutable CAN data frame."""
+
+    __slots__ = ("can_id", "data", "extended", "name", "remote")
+
+    def __init__(
+        self,
+        can_id: int,
+        data: Sequence[int] = (),
+        extended: bool = False,
+        name: Optional[str] = None,
+        remote: bool = False,
+    ) -> None:
+        limit = MAX_EXTENDED_ID if extended else MAX_STANDARD_ID
+        if not 0 <= can_id <= limit:
+            raise ValueError(
+                "CAN id {:#x} out of range for {} frame".format(
+                    can_id, "extended" if extended else "standard"
+                )
+            )
+        payload = tuple(int(b) for b in data)
+        if len(payload) > MAX_DLC:
+            raise ValueError("CAN payload is at most {} bytes".format(MAX_DLC))
+        for byte in payload:
+            if not 0 <= byte <= 0xFF:
+                raise ValueError("payload byte {} out of range".format(byte))
+        object.__setattr__(self, "can_id", can_id)
+        object.__setattr__(self, "data", payload)
+        object.__setattr__(self, "extended", extended)
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "remote", remote)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("CanFrame is immutable")
+
+    @property
+    def dlc(self) -> int:
+        """Data length code: the number of payload bytes."""
+        return len(self.data)
+
+    def byte(self, index: int) -> int:
+        """Payload byte accessor mirroring CAPL's ``msg.byte(i)``; 0 when absent."""
+        if 0 <= index < len(self.data):
+            return self.data[index]
+        return 0
+
+    def with_byte(self, index: int, value: int) -> "CanFrame":
+        """A copy with payload byte *index* set (payload grows if needed)."""
+        if not 0 <= value <= 0xFF:
+            raise ValueError("payload byte {} out of range".format(value))
+        if not 0 <= index < MAX_DLC:
+            raise ValueError("byte index {} out of range".format(index))
+        padded = list(self.data) + [0] * (index + 1 - len(self.data))
+        padded[index] = value
+        return CanFrame(self.can_id, padded, self.extended, self.name, self.remote)
+
+    def with_data(self, data: Iterable[int]) -> "CanFrame":
+        return CanFrame(self.can_id, tuple(data), self.extended, self.name, self.remote)
+
+    def arbitration_key(self) -> Tuple[int, int]:
+        """Sort key for bus arbitration: standard beats extended on equal bits."""
+        return (self.can_id, 1 if self.extended else 0)
+
+    def bit_length(self) -> int:
+        """Approximate frame length on the wire (for timing), in bits.
+
+        Standard frame overhead is ~47 bits plus stuffing; we use the common
+        worst-case-free approximation 47 + 8*dlc (64 + 8*dlc extended).
+        """
+        overhead = 67 if self.extended else 47
+        return overhead + 8 * self.dlc
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CanFrame):
+            return NotImplemented
+        return (
+            self.can_id == other.can_id
+            and self.data == other.data
+            and self.extended == other.extended
+            and self.remote == other.remote
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.can_id, self.data, self.extended, self.remote))
+
+    def __repr__(self) -> str:
+        label = self.name or "0x{:X}".format(self.can_id)
+        payload = " ".join("{:02X}".format(b) for b in self.data)
+        return "CanFrame({}, [{}])".format(label, payload)

@@ -1,0 +1,130 @@
+"""Gateways: bridging multiple CAN segments.
+
+Modern in-vehicle networks are "increasingly complex, supporting distributed
+concurrent processes" across several buses joined by gateway ECUs (paper
+Sec. II-B); CANoe simulates such multi-bus topologies.  A
+:class:`GatewayNode` participates in two (or more) segments and forwards
+frames between them according to a routing table -- optionally remapping
+identifiers, the way body/powertrain gateways isolate domains.
+
+Security-wise the gateway is the classic pinch point: a compromised gateway
+can drop, inject or rewrite traffic between domains, and a correct one is
+the firewall that keeps an infotainment attacker away from powertrain
+frames.  Both roles are expressible here (routing filters / rewrite hooks).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, NamedTuple, Optional, Sequence
+
+from .bus import CanBus
+from .frame import CanFrame
+from .node import CanNode
+
+
+class Route(NamedTuple):
+    """One routing rule: forward matching frames to a target bus.
+
+    *predicate* decides whether a frame is forwarded; *remap_id* optionally
+    gives the identifier the frame carries on the target segment (gateways
+    commonly translate between domain-specific ID ranges).
+    """
+
+    target: CanBus
+    predicate: Callable[[CanFrame], bool]
+    remap_id: Optional[Callable[[int], int]] = None
+
+
+def forward_ids(*can_ids: int) -> Callable[[CanFrame], bool]:
+    """A predicate forwarding exactly the given identifiers."""
+    allowed = frozenset(can_ids)
+    return lambda frame: frame.can_id in allowed
+
+
+def forward_range(low: int, high: int) -> Callable[[CanFrame], bool]:
+    """A predicate forwarding identifiers in ``[low, high]``."""
+    return lambda frame: low <= frame.can_id <= high
+
+
+class _GatewayPort(CanNode):
+    """The gateway's presence on one segment."""
+
+    def __init__(self, name: str, bus: CanBus, gateway: "GatewayNode") -> None:
+        super().__init__(name, bus)
+        self._gateway = gateway
+
+    def on_message(self, frame: CanFrame) -> None:
+        self._gateway._route(self.bus, frame)
+
+
+class GatewayNode:
+    """A multi-port gateway ECU joining CAN segments.
+
+    Attach it to buses with :meth:`attach`; add forwarding rules with
+    :meth:`add_route`.  Frames are forwarded once (no echo back to the
+    segment they arrived on; a loop guard drops frames already in flight
+    through this gateway, so cyclic topologies do not storm).
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._ports: Dict[CanBus, _GatewayPort] = {}
+        self._routes: Dict[CanBus, List[Route]] = {}
+        self._forwarding = False
+        #: every (source bus name, frame) this gateway forwarded, for tests
+        self.forwarded: List[CanFrame] = []
+        #: frames matching no route (visibility into the firewall behaviour)
+        self.dropped: List[CanFrame] = []
+
+    def attach(self, bus: CanBus) -> "GatewayNode":
+        if bus in self._ports:
+            raise ValueError("gateway already attached to {!r}".format(bus.name))
+        port_name = "{}@{}".format(self.name, bus.name)
+        self._ports[bus] = _GatewayPort(port_name, bus, self)
+        self._routes.setdefault(bus, [])
+        return self
+
+    def add_route(
+        self,
+        source: CanBus,
+        target: CanBus,
+        predicate: Callable[[CanFrame], bool],
+        remap_id: Optional[Callable[[int], int]] = None,
+    ) -> "GatewayNode":
+        """Forward frames arriving on *source* that satisfy *predicate*."""
+        if source not in self._ports or target not in self._ports:
+            raise ValueError("attach the gateway to both buses first")
+        if source is target:
+            raise ValueError("a route may not loop back to its source bus")
+        self._routes[source].append(Route(target, predicate, remap_id))
+        return self
+
+    def _route(self, source: CanBus, frame: CanFrame) -> None:
+        if self._forwarding:
+            return  # loop guard: do not re-forward our own forwards
+        matched = False
+        for route in self._routes.get(source, []):
+            if not route.predicate(frame):
+                continue
+            matched = True
+            outgoing = frame
+            if route.remap_id is not None:
+                outgoing = CanFrame(
+                    route.remap_id(frame.can_id),
+                    frame.data,
+                    frame.extended,
+                    frame.name,
+                    frame.remote,
+                )
+            self._forwarding = True
+            try:
+                self._ports[route.target].output(outgoing)
+            finally:
+                self._forwarding = False
+            self.forwarded.append(outgoing)
+        if not matched:
+            self.dropped.append(frame)
+
+    def port(self, bus: CanBus) -> CanNode:
+        """The gateway's node object on *bus* (for bus-off scenarios etc.)."""
+        return self._ports[bus]

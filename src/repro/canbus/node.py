@@ -1,0 +1,132 @@
+"""Network nodes: the simulated ECUs attached to the bus.
+
+:class:`CanNode` is the base class -- it owns timers, can transmit, and
+receives every frame on the bus (CAN is a broadcast medium; filtering is the
+node's business).  Two ready-made subclasses cover common test needs:
+:class:`FunctionNode` builds a node from plain callables, and
+:class:`ScriptedNode` replays a fixed transmit schedule (useful as a traffic
+generator or as a simple attacker).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .bus import CanBus
+from .frame import CanFrame
+from .timers import Timer
+
+
+class CanNode:
+    """Base class for bus participants."""
+
+    def __init__(self, name: str, bus: CanBus) -> None:
+        self.name = name
+        self.bus = bus
+        self.timers: Dict[str, Timer] = {}
+        self.received: List[CanFrame] = []
+        bus.attach(self)
+
+    # -- outbound -----------------------------------------------------------------
+
+    def output(self, frame: CanFrame) -> None:
+        """CAPL's ``output()``: hand a frame to the bus for arbitration."""
+        self.bus.transmit(self, frame)
+
+    # -- timers ---------------------------------------------------------------------
+
+    def create_timer(self, name: str, unit_us: int = 1000) -> Timer:
+        timer = Timer(name, self.bus.scheduler, unit_us)
+        timer.on_expiry(self._on_timer)
+        self.timers[name] = timer
+        return timer
+
+    def set_timer(self, name: str, duration: int) -> None:
+        self.timers[name].set(duration)
+
+    def cancel_timer(self, name: str) -> None:
+        self.timers[name].cancel()
+
+    # -- inbound ---------------------------------------------------------------------
+
+    def deliver(self, frame: CanFrame) -> None:
+        """Called by the bus on every broadcast frame from another node."""
+        self.received.append(frame)
+        self.on_message(frame)
+
+    # -- overridable event handlers ------------------------------------------------------
+
+    def on_start(self) -> None:
+        """Measurement start (CAPL's ``on start``)."""
+
+    def on_message(self, frame: CanFrame) -> None:
+        """A frame arrived (CAPL's ``on message``)."""
+
+    def on_timer(self, timer: Timer) -> None:
+        """A timer elapsed (CAPL's ``on timer``)."""
+
+    def on_error_frame(self) -> None:
+        """An error frame was observed on the bus (CAPL's ``on errorFrame``)."""
+
+    def on_bus_off(self) -> None:
+        """This node's controller went bus-off (CAPL's ``on busOff``)."""
+
+    def _on_timer(self, timer: Timer) -> None:
+        self.on_timer(timer)
+
+    def __repr__(self) -> str:
+        return "{}({!r})".format(type(self).__name__, self.name)
+
+
+class FunctionNode(CanNode):
+    """A node assembled from plain callables -- handy in tests."""
+
+    def __init__(
+        self,
+        name: str,
+        bus: CanBus,
+        on_start: Optional[Callable[["FunctionNode"], None]] = None,
+        on_message: Optional[Callable[["FunctionNode", CanFrame], None]] = None,
+        on_timer: Optional[Callable[["FunctionNode", Timer], None]] = None,
+    ) -> None:
+        super().__init__(name, bus)
+        self._start_handler = on_start
+        self._message_handler = on_message
+        self._timer_handler = on_timer
+
+    def on_start(self) -> None:
+        if self._start_handler is not None:
+            self._start_handler(self)
+
+    def on_message(self, frame: CanFrame) -> None:
+        if self._message_handler is not None:
+            self._message_handler(self, frame)
+
+    def on_timer(self, timer: Timer) -> None:
+        if self._timer_handler is not None:
+            self._timer_handler(self, timer)
+
+
+class ScriptedNode(CanNode):
+    """Replays a fixed schedule of (delay_us, frame) transmissions.
+
+    The schedule is relative to measurement start.  Doubles as a blunt
+    attacker model: an injection attack is just a scripted node sending
+    frames it should not.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        bus: CanBus,
+        schedule: Sequence[Tuple[int, CanFrame]] = (),
+    ) -> None:
+        super().__init__(name, bus)
+        self.schedule = list(schedule)
+
+    def on_start(self) -> None:
+        for delay, frame in self.schedule:
+            self.bus.scheduler.after(delay, self._transmit_later(frame))
+
+    def _transmit_later(self, frame: CanFrame) -> Callable[[], None]:
+        return lambda: self.output(frame)

@@ -1,0 +1,60 @@
+"""CAPL-style timers (``msTimer`` / ``sTimer``).
+
+A timer belongs to a node, is set with :meth:`Timer.set` and fires its
+callback once when the delay elapses (CAPL timers are one-shot; programs
+re-arm them inside the ``on timer`` handler for periodic behaviour).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from .scheduler import ScheduledEvent, Scheduler
+
+
+class Timer:
+    """A one-shot timer bound to a scheduler."""
+
+    def __init__(self, name: str, scheduler: Scheduler, unit_us: int = 1000) -> None:
+        """*unit_us* is the tick size: 1000 for msTimer, 1_000_000 for sTimer."""
+        self.name = name
+        self._scheduler = scheduler
+        self._unit_us = unit_us
+        self._pending: Optional[ScheduledEvent] = None
+        self._callback: Optional[Callable[["Timer"], None]] = None
+
+    def on_expiry(self, callback: Callable[["Timer"], None]) -> None:
+        """Install the expiry handler (the node's ``on timer`` procedure)."""
+        self._callback = callback
+
+    def set(self, duration: int) -> None:
+        """(Re-)arm the timer for *duration* units (ms for msTimer)."""
+        if duration < 0:
+            raise ValueError("timer duration must be non-negative")
+        self.cancel()
+        self._pending = self._scheduler.after(duration * self._unit_us, self._fire)
+
+    def cancel(self) -> None:
+        """CAPL's ``cancelTimer``: disarm without firing."""
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+
+    def is_running(self) -> bool:
+        return self._pending is not None and not self._pending.cancelled
+
+    def time_to_elapse(self) -> int:
+        """Remaining units until expiry (CAPL's ``timeToElapse``); -1 if idle."""
+        if not self.is_running():
+            return -1
+        remaining_us = self._pending.time - self._scheduler.now
+        return max(0, remaining_us // self._unit_us)
+
+    def _fire(self) -> None:
+        self._pending = None
+        if self._callback is not None:
+            self._callback(self)
+
+    def __repr__(self) -> str:
+        state = "running" if self.is_running() else "idle"
+        return "Timer({!r}, {})".format(self.name, state)

@@ -1,0 +1,60 @@
+"""``dbc2cspm`` -- command-line CAN-database-to-CSPm extraction.
+
+Usage::
+
+    dbc2cspm network.dbc [-o declarations.csp] [--inventory]
+
+Part of the second model generator the paper's future-work section calls
+for: it turns a CANdb file into CSPm datatype/nametype/channel declarations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .cspm_export import export_database, message_inventory
+from .parser import parse_dbc_file
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="dbc2cspm",
+        description="Extract CSPm type and channel declarations from a CAN database",
+    )
+    parser.add_argument("dbc", help="path to the .dbc file")
+    parser.add_argument(
+        "-o", "--output", help="output .csp file (default: stdout)", default=None
+    )
+    parser.add_argument(
+        "--inventory",
+        action="store_true",
+        help="print the message inventory table instead of CSPm",
+    )
+    parser.add_argument(
+        "--max-range-bits",
+        type=int,
+        default=8,
+        help="widest signal (in bits) to expand into a nametype range",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_arg_parser().parse_args(argv)
+    database = parse_dbc_file(args.dbc)
+    if args.inventory:
+        text = message_inventory(database) + "\n"
+    else:
+        text = export_database(database, max_range_bits=args.max_range_bits)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,123 @@
+"""Signal packing and unpacking (the CANdb codec).
+
+Implements the two DBC bit layouts: Intel/little-endian (``@1``), where the
+start bit is the least-significant bit of the signal, and Motorola/big-endian
+(``@0``), where the start bit is the most-significant and bit positions walk
+the Motorola sawtooth.  Physical values go through each signal's
+factor/offset scaling; symbolic labels resolve through the value table.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Union
+
+from .model import Message, Signal
+
+SignalValue = Union[int, float, str]
+
+
+def _little_endian_positions(signal: Signal):
+    """Absolute bit positions, LSB of the signal first."""
+    return [signal.start_bit + i for i in range(signal.length)]
+
+
+def _big_endian_positions(signal: Signal):
+    """Absolute bit positions, MSB of the signal first (Motorola order)."""
+    positions = []
+    position = signal.start_bit
+    for _ in range(signal.length):
+        positions.append(position)
+        if position % 8 == 0:
+            position += 15
+        else:
+            position -= 1
+    return positions
+
+
+def _signal_positions(signal: Signal):
+    if signal.byte_order == "little":
+        # little-endian lists LSB first; we want MSB first for uniformity
+        return list(reversed(_little_endian_positions(signal)))
+    return _big_endian_positions(signal)
+
+
+def encode_raw(signal: Signal, raw: int, data: bytearray) -> None:
+    """Pack a raw integer into *data* (modified in place)."""
+    low, high = signal.raw_range()
+    if not low <= raw <= high:
+        raise ValueError(
+            "raw value {} out of range {}..{} for signal {!r}".format(
+                raw, low, high, signal.name
+            )
+        )
+    if raw < 0:
+        raw += 1 << signal.length
+    positions = _signal_positions(signal)
+    for index, position in enumerate(positions):
+        bit = (raw >> (signal.length - 1 - index)) & 1
+        byte_index, bit_index = divmod(position, 8)
+        if byte_index >= len(data):
+            raise ValueError(
+                "signal {!r} does not fit in a {}-byte payload".format(
+                    signal.name, len(data)
+                )
+            )
+        if bit:
+            data[byte_index] |= 1 << bit_index
+        else:
+            data[byte_index] &= ~(1 << bit_index)
+
+
+def decode_raw(signal: Signal, data: bytes) -> int:
+    """Extract the raw integer of *signal* from a payload."""
+    raw = 0
+    for position in _signal_positions(signal):
+        byte_index, bit_index = divmod(position, 8)
+        bit = (data[byte_index] >> bit_index) & 1 if byte_index < len(data) else 0
+        raw = (raw << 1) | bit
+    if signal.signed and raw >= 1 << (signal.length - 1):
+        raw -= 1 << signal.length
+    return raw
+
+
+def _resolve_value(signal: Signal, value: SignalValue) -> int:
+    if isinstance(value, str):
+        for raw, label in signal.value_table.items():
+            if label == value:
+                return raw
+        raise ValueError(
+            "label {!r} not in value table of signal {!r}".format(value, signal.name)
+        )
+    return signal.physical_to_raw(float(value))
+
+
+def encode_message(message: Message, values: Mapping[str, SignalValue]) -> bytes:
+    """Build the payload of *message* from signal values.
+
+    Values may be physical numbers or value-table labels.  Unmentioned
+    signals encode as raw zero.
+    """
+    data = bytearray(message.dlc)
+    for name in values:
+        message.signal(name)  # raises KeyError for unknown signals
+    for signal in message.signals:
+        if signal.name in values:
+            encode_raw(signal, _resolve_value(signal, values[signal.name]), data)
+    return bytes(data)
+
+
+def decode_message(message: Message, data: bytes) -> Dict[str, SignalValue]:
+    """Decode a payload into physical values (labels when a table matches)."""
+    decoded: Dict[str, SignalValue] = {}
+    for signal in message.signals:
+        raw = decode_raw(signal, data)
+        label = signal.label_for(raw)
+        if label is not None:
+            decoded[signal.name] = label
+        else:
+            physical = signal.raw_to_physical(raw)
+            if float(physical).is_integer():
+                decoded[signal.name] = int(physical)
+            else:
+                decoded[signal.name] = physical
+    return decoded

@@ -1,0 +1,121 @@
+"""CANdb -> CSPm declaration extraction.
+
+The paper's future-work list (Sec. VIII-A) calls for "a second parser and
+model generator ... to handle CAN database files, extracting message formats
+as CSPm declarations for data types, name types, and data ranges".  This
+module implements that generator:
+
+* all message names become one ``datatype`` (the message universe),
+* every signal with a value table becomes a ``datatype`` of its labels,
+* every small integer signal becomes a ``nametype`` range ``{lo..hi}``,
+* per-node transmit channels are declared over the message datatype.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional
+
+from ..cspm.emitter import ScriptBuilder
+from .model import Database, Message, Signal
+
+#: signals wider than this many bits are not given a nametype range --
+#: enumerating 2^32 values would make models unusable, exactly the state
+#: explosion the paper warns about (Sec. II-C2)
+DEFAULT_MAX_RANGE_BITS = 8
+
+
+def sanitize(name: str) -> str:
+    """Make an arbitrary DBC label usable as a CSPm identifier."""
+    cleaned = re.sub(r"\W", "_", name.strip())
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = "v_" + cleaned
+    return cleaned
+
+
+def export_database(
+    database: Database,
+    header: Optional[str] = None,
+    max_range_bits: int = DEFAULT_MAX_RANGE_BITS,
+    message_channel: str = "can",
+    per_node_channels: bool = True,
+) -> str:
+    """Render a CSPm declaration script for a CAN database."""
+    builder = ScriptBuilder(
+        header
+        or "CSPm declarations extracted from CAN database (version {!r})".format(
+            database.version
+        )
+    )
+    message_names = [sanitize(m.name) for m in database.messages]
+    if message_names:
+        builder.datatype("MsgId", message_names)
+
+    declared_types: List[str] = []
+    for message in database.messages:
+        for signal in message.signals:
+            _export_signal_types(builder, message, signal, max_range_bits, declared_types)
+
+    if message_names:
+        builder.channel([message_channel], ["MsgId"])
+        if per_node_channels:
+            for node in database.nodes:
+                sent = database.messages_sent_by(node)
+                if sent:
+                    builder.channel(["tx_{}".format(sanitize(node))], ["MsgId"])
+    return builder.render()
+
+
+def _export_signal_types(
+    builder: ScriptBuilder,
+    message: Message,
+    signal: Signal,
+    max_range_bits: int,
+    declared_types: List[str],
+) -> None:
+    type_name = sanitize("{}_{}".format(message.name, signal.name))
+    if type_name in declared_types:
+        return
+    if signal.value_table:
+        labels = [
+            sanitize(signal.value_table[raw]) for raw in sorted(signal.value_table)
+        ]
+        # constructors must be unique across the script; qualify with the type
+        unique_labels = []
+        for label in labels:
+            qualified = label
+            suffix = 2
+            while qualified in _all_constructors(builder):
+                qualified = "{}_{}".format(label, suffix)
+                suffix += 1
+            unique_labels.append(qualified)
+        builder.datatype(type_name, unique_labels)
+        declared_types.append(type_name)
+        return
+    if signal.length <= max_range_bits:
+        low, high = signal.raw_range()
+        builder.nametype(type_name, "{{{}..{}}}".format(low, high))
+        declared_types.append(type_name)
+
+
+def _all_constructors(builder: ScriptBuilder) -> List[str]:
+    constructors: List[str] = []
+    for _, names in builder._datatypes:
+        constructors.extend(names)
+    return constructors
+
+
+def message_inventory(database: Database) -> str:
+    """A human-readable inventory table (mirrors the paper's Table II shape)."""
+    lines = ["{:<6} {:<20} {:<8} {:<10} {}".format("id", "name", "dlc", "from", "to")]
+    for message in database.messages:
+        lines.append(
+            "0x{:<4X} {:<20} {:<8} {:<10} {}".format(
+                message.can_id,
+                message.name,
+                message.dlc,
+                message.sender or "-",
+                ",".join(message.receivers()) or "-",
+            )
+        )
+    return "\n".join(lines)

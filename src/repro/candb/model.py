@@ -1,0 +1,188 @@
+"""Object model for CAN databases (CANdb / .dbc files).
+
+The paper (Sec. IV-B2) describes CAN databases as "textual files (*.dbc
+extension) holding all necessary information about message formats, data
+payloads and relationships of data packets to network components".  This
+module models exactly that: nodes (``BU_``), messages (``BO_``), signals
+(``SG_``) with scaling and value tables (``VAL_``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+class Signal:
+    """One signal inside a message: a bit-field with scaling and semantics."""
+
+    def __init__(
+        self,
+        name: str,
+        start_bit: int,
+        length: int,
+        byte_order: str = "little",
+        signed: bool = False,
+        factor: float = 1.0,
+        offset: float = 0.0,
+        minimum: float = 0.0,
+        maximum: float = 0.0,
+        unit: str = "",
+        receivers: Sequence[str] = (),
+    ) -> None:
+        if length <= 0 or length > 64:
+            raise ValueError("signal length must be in 1..64")
+        if byte_order not in ("little", "big"):
+            raise ValueError("byte_order must be 'little' or 'big'")
+        self.name = name
+        self.start_bit = start_bit
+        self.length = length
+        self.byte_order = byte_order
+        self.signed = signed
+        self.factor = factor
+        self.offset = offset
+        self.minimum = minimum
+        self.maximum = maximum
+        self.unit = unit
+        self.receivers = tuple(receivers)
+        #: raw value -> symbolic label (from VAL_ declarations)
+        self.value_table: Dict[int, str] = {}
+        self.comment: Optional[str] = None
+
+    def raw_range(self) -> Tuple[int, int]:
+        """The representable raw integer range of the bit-field."""
+        if self.signed:
+            return (-(1 << (self.length - 1)), (1 << (self.length - 1)) - 1)
+        return (0, (1 << self.length) - 1)
+
+    def physical_to_raw(self, physical: float) -> int:
+        raw = round((physical - self.offset) / self.factor)
+        low, high = self.raw_range()
+        if not low <= raw <= high:
+            raise ValueError(
+                "physical value {} maps to raw {} outside {}..{} for signal {!r}".format(
+                    physical, raw, low, high, self.name
+                )
+            )
+        return int(raw)
+
+    def raw_to_physical(self, raw: int) -> float:
+        return raw * self.factor + self.offset
+
+    def label_for(self, raw: int) -> Optional[str]:
+        return self.value_table.get(raw)
+
+    def __repr__(self) -> str:
+        return "Signal({!r}, {}|{}@{}{})".format(
+            self.name,
+            self.start_bit,
+            self.length,
+            1 if self.byte_order == "little" else 0,
+            "-" if self.signed else "+",
+        )
+
+
+class Message:
+    """A CAN message definition: identifier, length and its signals."""
+
+    def __init__(
+        self,
+        can_id: int,
+        name: str,
+        dlc: int,
+        sender: Optional[str] = None,
+    ) -> None:
+        self.can_id = can_id
+        self.name = name
+        self.dlc = dlc
+        self.sender = sender
+        self.signals: List[Signal] = []
+        self.comment: Optional[str] = None
+
+    def add_signal(self, signal: Signal) -> None:
+        if any(existing.name == signal.name for existing in self.signals):
+            raise ValueError(
+                "duplicate signal {!r} in message {!r}".format(signal.name, self.name)
+            )
+        self.signals.append(signal)
+
+    def signal(self, name: str) -> Signal:
+        for signal in self.signals:
+            if signal.name == name:
+                return signal
+        raise KeyError("no signal {!r} in message {!r}".format(name, self.name))
+
+    def receivers(self) -> Tuple[str, ...]:
+        seen: List[str] = []
+        for signal in self.signals:
+            for receiver in signal.receivers:
+                if receiver not in seen and receiver != "Vector__XXX":
+                    seen.append(receiver)
+        return tuple(seen)
+
+    def __repr__(self) -> str:
+        return "Message(0x{:X}, {!r}, dlc={})".format(self.can_id, self.name, self.dlc)
+
+
+class Database:
+    """A parsed CAN database: nodes plus message definitions."""
+
+    def __init__(self, version: str = "") -> None:
+        self.version = version
+        self.nodes: List[str] = []
+        self._by_id: Dict[int, Message] = {}
+        self._by_name: Dict[str, Message] = {}
+
+    # -- construction --------------------------------------------------------------
+
+    def add_node(self, name: str) -> None:
+        if name not in self.nodes:
+            self.nodes.append(name)
+
+    def add_message(self, message: Message) -> None:
+        if message.can_id in self._by_id:
+            raise ValueError("duplicate message id 0x{:X}".format(message.can_id))
+        if message.name in self._by_name:
+            raise ValueError("duplicate message name {!r}".format(message.name))
+        self._by_id[message.can_id] = message
+        self._by_name[message.name] = message
+
+    # -- queries ---------------------------------------------------------------------
+
+    @property
+    def messages(self) -> List[Message]:
+        return sorted(self._by_id.values(), key=lambda m: m.can_id)
+
+    def message_by_id(self, can_id: int) -> Message:
+        try:
+            return self._by_id[can_id]
+        except KeyError:
+            raise KeyError("no message with id 0x{:X}".format(can_id)) from None
+
+    def message_by_name(self, name: str) -> Message:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError("no message named {!r}".format(name)) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def messages_sent_by(self, node: str) -> List[Message]:
+        return [m for m in self.messages if m.sender == node]
+
+    def messages_received_by(self, node: str) -> List[Message]:
+        return [m for m in self.messages if node in m.receivers()]
+
+    def message_specs(self):
+        """name -> MessageSpec mapping for the CAPL interpreter."""
+        from ..capl.interpreter import MessageSpec
+
+        return {
+            message.name: MessageSpec(message.can_id, message.dlc)
+            for message in self.messages
+        }
+
+    def __repr__(self) -> str:
+        return "Database({} nodes, {} messages)".format(
+            len(self.nodes), len(self._by_id)
+        )

@@ -1,0 +1,189 @@
+"""CAPL runtime objects and built-in functions.
+
+CAPL extends C with "a superset of pre-defined functions for networking and
+controlling the IDE" (paper Sec. IV-B1).  This module provides the runtime
+message object (with CAPL's ``msg.byte(i)`` accessors and signal fields) and
+the built-in function table the interpreter exposes: ``output``,
+``setTimer`` / ``cancelTimer``, ``write``, ``timeNow`` and friends.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Union
+
+from ..canbus.frame import CanFrame, MAX_DLC
+
+
+class CaplRuntimeError(RuntimeError):
+    """An error raised by CAPL execution (bad arguments, unknown names...)."""
+
+
+class MessageObject:
+    """The mutable message variable behind ``message reqSw msg;``.
+
+    Tracks identifier, name, payload bytes and free-form signal fields.  The
+    ``byte(i)`` accessor pair mirrors CAPL; ``to_frame`` snapshots the object
+    into an immutable :class:`CanFrame` for transmission.
+    """
+
+    def __init__(
+        self,
+        name: Optional[str],
+        can_id: int,
+        dlc: int = 8,
+        extended: bool = False,
+    ) -> None:
+        self.name = name
+        self.can_id = can_id
+        self.dlc = min(dlc, MAX_DLC)
+        self.extended = extended
+        self.data = bytearray(self.dlc)
+        #: symbolic signal values (kept alongside raw bytes; a CANdb codec
+        #: may map between them)
+        self.signals: Dict[str, Any] = {}
+
+    @classmethod
+    def from_frame(cls, frame: CanFrame) -> "MessageObject":
+        obj = cls(frame.name, frame.can_id, max(frame.dlc, 0), frame.extended)
+        obj.data = bytearray(frame.data)
+        obj.dlc = frame.dlc
+        return obj
+
+    def byte(self, index: int) -> int:
+        if 0 <= index < len(self.data):
+            return self.data[index]
+        return 0
+
+    def set_byte(self, index: int, value: int) -> None:
+        if not 0 <= index < MAX_DLC:
+            raise CaplRuntimeError("byte index {} out of range".format(index))
+        if index >= len(self.data):
+            self.data.extend(b"\x00" * (index + 1 - len(self.data)))
+            self.dlc = len(self.data)
+        self.data[index] = int(value) & 0xFF
+
+    def to_frame(self) -> CanFrame:
+        return CanFrame(self.can_id, bytes(self.data[: self.dlc]), self.extended, self.name)
+
+    def matches(self, selector: Union[str, int]) -> bool:
+        if selector == "*":
+            return True
+        if isinstance(selector, int):
+            return selector == self.can_id
+        return selector == self.name
+
+    def __repr__(self) -> str:
+        return "MessageObject({!r}, 0x{:X})".format(self.name, self.can_id)
+
+
+def format_write(template: str, args: List[Any]) -> str:
+    """CAPL's printf-style formatting for ``write()`` (subset: %d %x %s %f %%)."""
+    out: List[str] = []
+    arg_index = 0
+    i = 0
+    while i < len(template):
+        char = template[i]
+        if char != "%":
+            out.append(char)
+            i += 1
+            continue
+        if i + 1 >= len(template):
+            out.append("%")
+            break
+        spec = template[i + 1]
+        if spec == "%":
+            out.append("%")
+        else:
+            if arg_index >= len(args):
+                raise CaplRuntimeError(
+                    "write(): not enough arguments for format {!r}".format(template)
+                )
+            value = args[arg_index]
+            arg_index += 1
+            if spec == "d":
+                out.append(str(int(value)))
+            elif spec in ("x", "X"):
+                out.append(format(int(value), spec))
+            elif spec == "s":
+                out.append(str(value))
+            elif spec == "f":
+                out.append("{:f}".format(float(value)))
+            elif spec == "c":
+                out.append(chr(int(value)) if isinstance(value, int) else str(value)[0])
+            else:
+                raise CaplRuntimeError("write(): unsupported format %{}".format(spec))
+        i += 2
+    return "".join(out)
+
+
+def make_builtins(node) -> Dict[str, Callable]:
+    """The built-in function table, closed over the owning interpreter node.
+
+    *node* is a :class:`repro.capl.interpreter.CaplNode`; typed loosely to
+    avoid an import cycle.
+    """
+
+    def builtin_output(message: MessageObject) -> int:
+        if not isinstance(message, MessageObject):
+            raise CaplRuntimeError("output() expects a message variable")
+        node.output(message.to_frame())
+        return 0
+
+    def builtin_set_timer(timer, duration) -> int:
+        timer_obj = node.timers.get(getattr(timer, "name", timer))
+        if timer_obj is None:
+            raise CaplRuntimeError("setTimer(): unknown timer")
+        timer_obj.set(int(duration))
+        return 0
+
+    def builtin_cancel_timer(timer) -> int:
+        timer_obj = node.timers.get(getattr(timer, "name", timer))
+        if timer_obj is None:
+            raise CaplRuntimeError("cancelTimer(): unknown timer")
+        timer_obj.cancel()
+        return 0
+
+    def builtin_write(template, *args) -> int:
+        node.console.append(format_write(str(template), list(args)))
+        return 0
+
+    def builtin_time_now() -> int:
+        # CAPL's timeNow() returns time in 10-microsecond units
+        return node.bus.scheduler.now // 10
+
+    def builtin_el_count(value) -> int:
+        try:
+            return len(value)
+        except TypeError:
+            raise CaplRuntimeError("elCount() expects an array")
+
+    def builtin_abs(value):
+        return abs(value)
+
+    def builtin_random(ceiling: int) -> int:
+        # deterministic LCG so simulations are reproducible run-to-run
+        node.rng_state = (node.rng_state * 1103515245 + 12345) & 0x7FFFFFFF
+        if ceiling <= 0:
+            return 0
+        return node.rng_state % ceiling
+
+    def builtin_mk_extended_id(raw_id: int) -> int:
+        return int(raw_id) | (1 << 31)
+
+    def builtin_is_timer_active(timer) -> int:
+        timer_obj = node.timers.get(getattr(timer, "name", timer))
+        return 1 if timer_obj is not None and timer_obj.is_running() else 0
+
+    return {
+        "output": builtin_output,
+        "setTimer": builtin_set_timer,
+        "cancelTimer": builtin_cancel_timer,
+        "write": builtin_write,
+        "writeLineEx": lambda *args: builtin_write(*args[2:]) if len(args) > 2 else 0,
+        "timeNow": builtin_time_now,
+        "elCount": builtin_el_count,
+        "abs": builtin_abs,
+        "random": builtin_random,
+        "mkExtId": builtin_mk_extended_id,
+        "isTimerActive": builtin_is_timer_active,
+    }

@@ -1,0 +1,274 @@
+"""Events, channels and alphabets for the CSP process algebra.
+
+The paper (Sec. IV-A2) works with a set of events ``Sigma`` plus the special
+termination event (tick).  Channel communications such as ``send.reqSw`` are
+compound events: a channel name followed by zero or more data values.  This
+module provides:
+
+* :class:`Event` -- an immutable, hashable event value.
+* :data:`TICK` / :data:`TAU` -- the special termination and internal events.
+* :class:`Channel` -- a typed channel that manufactures events and can
+  enumerate the finite set of events it carries.
+* :class:`Alphabet` -- a finite set of events with set-algebra helpers, used
+  as the synchronisation set of generalised parallel composition.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Sequence, Tuple, Union
+
+Value = Union[str, int, bool, Tuple["Value", ...]]
+
+_TICK_NAME = "✓"  # the paper's checkmark
+_TAU_NAME = "τ"
+
+
+def _format_value(value: Value) -> str:
+    """Render a single event field the way CSPm prints it."""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, tuple):
+        return "(" + ", ".join(_format_value(v) for v in value) + ")"
+    return str(value)
+
+
+class Event:
+    """An immutable CSP event.
+
+    An event is a channel name plus a (possibly empty) tuple of field values.
+    Plain events such as ``tick_tock`` are events whose field tuple is empty.
+    Events compare and hash structurally, so they can be stored in the
+    alphabets and transition tables used by the refinement checker.
+    """
+
+    __slots__ = ("_channel", "_fields", "_hash")
+
+    def __init__(self, channel: str, fields: Sequence[Value] = ()) -> None:
+        if not channel:
+            raise ValueError("event channel name must be non-empty")
+        self._channel = channel
+        self._fields = tuple(fields)
+        self._hash = hash((self._channel, self._fields))
+
+    @property
+    def channel(self) -> str:
+        """The channel (or bare event) name."""
+        return self._channel
+
+    @property
+    def fields(self) -> Tuple[Value, ...]:
+        """The data fields carried on the channel."""
+        return self._fields
+
+    def is_tick(self) -> bool:
+        """True for the distinguished termination event."""
+        return self._channel == _TICK_NAME
+
+    def is_tau(self) -> bool:
+        """True for the internal (invisible) event."""
+        return self._channel == _TAU_NAME
+
+    def is_visible(self) -> bool:
+        """True for ordinary events drawn from Sigma (not tick, not tau)."""
+        return not self.is_tick() and not self.is_tau()
+
+    def dot(self, *fields: Value) -> "Event":
+        """Extend this event with more fields: ``send.dot('reqSw')``."""
+        return Event(self._channel, self._fields + tuple(fields))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return self._channel == other._channel and self._fields == other._fields
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return "Event({!r})".format(str(self))
+
+    def __str__(self) -> str:
+        if not self._fields:
+            return self._channel
+        parts = ".".join(_format_value(f) for f in self._fields)
+        return "{}.{}".format(self._channel, parts)
+
+
+#: The distinguished successful-termination event (the paper's checkmark).
+TICK = Event(_TICK_NAME)
+
+#: The internal, invisible event produced by hiding and internal choice.
+TAU = Event(_TAU_NAME)
+
+
+class Channel:
+    """A typed CSP channel declaration.
+
+    Mirrors the CSPm declaration ``channel send, rec : msgs`` from the paper's
+    Sec. V-B.  A channel knows the finite domain of each of its fields, so the
+    full set of events it can carry is enumerable -- which is what makes the
+    models finite-state and checkable.
+    """
+
+    def __init__(self, name: str, *field_domains: Sequence[Value]) -> None:
+        if not name:
+            raise ValueError("channel name must be non-empty")
+        if name in (_TICK_NAME, _TAU_NAME):
+            raise ValueError("channel name collides with a reserved event")
+        self.name = name
+        self.field_domains: Tuple[Tuple[Value, ...], ...] = tuple(
+            tuple(domain) for domain in field_domains
+        )
+        for index, domain in enumerate(self.field_domains):
+            if not domain:
+                raise ValueError(
+                    "field {} of channel {!r} has an empty domain".format(index, name)
+                )
+
+    @property
+    def arity(self) -> int:
+        """Number of data fields the channel carries."""
+        return len(self.field_domains)
+
+    def __call__(self, *fields: Value) -> Event:
+        """Build the event ``name.f1.f2...`` after validating the fields."""
+        if len(fields) != self.arity:
+            raise ValueError(
+                "channel {!r} carries {} field(s), got {}".format(
+                    self.name, self.arity, len(fields)
+                )
+            )
+        for index, (field, domain) in enumerate(zip(fields, self.field_domains)):
+            if field not in domain:
+                raise ValueError(
+                    "value {!r} not in domain of field {} of channel {!r}".format(
+                        field, index, self.name
+                    )
+                )
+        return Event(self.name, fields)
+
+    def event(self, *fields: Value) -> Event:
+        """Alias of :meth:`__call__` for readability at call sites."""
+        return self(*fields)
+
+    def events(self) -> Iterator[Event]:
+        """Enumerate every event this channel can carry (the channel's extensions)."""
+        def expand(prefix: Tuple[Value, ...], remaining: int) -> Iterator[Event]:
+            if remaining == len(self.field_domains):
+                yield Event(self.name, prefix)
+                return
+            for value in self.field_domains[remaining]:
+                yield from expand(prefix + (value,), remaining + 1)
+
+        yield from expand((), 0)
+
+    def alphabet(self) -> "Alphabet":
+        """The set of all events on this channel as an :class:`Alphabet`."""
+        return Alphabet(self.events())
+
+    def matches(self, event: Event) -> bool:
+        """True if *event* is carried by this channel."""
+        return event.channel == self.name
+
+    def __repr__(self) -> str:
+        return "Channel({!r}, arity={})".format(self.name, self.arity)
+
+
+class Alphabet:
+    """A finite set of events, used as a synchronisation or hiding set."""
+
+    __slots__ = ("_events",)
+
+    def __init__(self, events: Iterable[Event] = ()) -> None:
+        frozen = frozenset(events)
+        for event in frozen:
+            if not isinstance(event, Event):
+                raise TypeError("alphabet members must be Event, got {!r}".format(event))
+            if event.is_tau():
+                raise ValueError("tau may not appear in an alphabet")
+        self._events = frozen
+
+    @classmethod
+    def of(cls, *events: Event) -> "Alphabet":
+        """Convenience constructor: ``Alphabet.of(a, b, c)``."""
+        return cls(events)
+
+    @classmethod
+    def from_channels(cls, *channels: Channel) -> "Alphabet":
+        """The union of the extensions of several channels."""
+        collected = []
+        for channel in channels:
+            collected.extend(channel.events())
+        return cls(collected)
+
+    @property
+    def events(self) -> frozenset:
+        return self._events
+
+    def union(self, other: "Alphabet") -> "Alphabet":
+        return Alphabet(self._events | other._events)
+
+    def intersection(self, other: "Alphabet") -> "Alphabet":
+        return Alphabet(self._events & other._events)
+
+    def difference(self, other: "Alphabet") -> "Alphabet":
+        return Alphabet(self._events - other._events)
+
+    def __or__(self, other: "Alphabet") -> "Alphabet":
+        return self.union(other)
+
+    def __and__(self, other: "Alphabet") -> "Alphabet":
+        return self.intersection(other)
+
+    def __sub__(self, other: "Alphabet") -> "Alphabet":
+        return self.difference(other)
+
+    def __contains__(self, event: Event) -> bool:
+        return event in self._events
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(sorted(self._events, key=str))
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Alphabet):
+            return NotImplemented
+        return self._events == other._events
+
+    def __hash__(self) -> int:
+        return hash(self._events)
+
+    def __repr__(self) -> str:
+        return "Alphabet({{{}}})".format(", ".join(str(e) for e in self))
+
+
+def event(name: str, *fields: Value) -> Event:
+    """Build an event directly: ``event('send', 'reqSw')`` is ``send.reqSw``."""
+    return Event(name, fields)
+
+
+def parse_event(text: str, domains: Optional[dict] = None) -> Event:
+    """Parse a dotted event string such as ``"send.reqSw.1"``.
+
+    Numeric fields become ints, ``true``/``false`` become bools, everything
+    else stays a string.  *domains* optionally maps channel name -> Channel
+    for validation.
+    """
+    parts = text.split(".")
+    name = parts[0]
+    fields = []
+    for raw in parts[1:]:
+        if raw == "true":
+            fields.append(True)
+        elif raw == "false":
+            fields.append(False)
+        else:
+            try:
+                fields.append(int(raw))
+            except ValueError:
+                fields.append(raw)
+    if domains is not None and name in domains:
+        return domains[name](*fields)
+    return Event(name, tuple(fields))

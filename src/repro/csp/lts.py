@@ -1,0 +1,225 @@
+"""Explicit-state labelled transition systems compiled from process terms.
+
+This is the bridge between the process algebra and the refinement checker:
+a process term plus an environment of equations compiles, by exhaustive
+exploration of the operational semantics, into a finite LTS with integer
+states.  The compiler deduplicates structurally equal process terms, so
+recursive definitions close back on themselves and the LTS is finite whenever
+the process is finite-state.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from .events import Event, TAU, TICK
+from .process import Environment, Process
+from .semantics import transitions as sos_transitions
+
+StateId = int
+
+
+class StateSpaceLimitExceeded(RuntimeError):
+    """Raised when exploration exceeds the configured state budget."""
+
+    def __init__(self, limit: int) -> None:
+        super().__init__(
+            "state space exceeds the limit of {} states; the model may be "
+            "infinite-state or the limit too small".format(limit)
+        )
+        self.limit = limit
+
+
+class LTS:
+    """A finite labelled transition system with a single initial state."""
+
+    def __init__(self) -> None:
+        self.initial: StateId = 0
+        self._succ: List[List[Tuple[Event, StateId]]] = []
+        #: optional mapping back to the process term each state came from
+        self.terms: List[Optional[Process]] = []
+
+    # -- construction --------------------------------------------------------
+
+    def add_state(self, term: Optional[Process] = None) -> StateId:
+        self._succ.append([])
+        self.terms.append(term)
+        return len(self._succ) - 1
+
+    def add_transition(self, source: StateId, event: Event, target: StateId) -> None:
+        self._succ[source].append((event, target))
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def state_count(self) -> int:
+        return len(self._succ)
+
+    @property
+    def transition_count(self) -> int:
+        return sum(len(edges) for edges in self._succ)
+
+    def successors(self, state: StateId) -> List[Tuple[Event, StateId]]:
+        return self._succ[state]
+
+    def visible_successors(self, state: StateId) -> List[Tuple[Event, StateId]]:
+        """Transitions on events other than tau (tick included: it is observable)."""
+        return [(e, t) for e, t in self._succ[state] if not e.is_tau()]
+
+    def tau_successors(self, state: StateId) -> List[StateId]:
+        return [t for e, t in self._succ[state] if e.is_tau()]
+
+    def initials(self, state: StateId) -> FrozenSet[Event]:
+        return frozenset(e for e, _ in self._succ[state])
+
+    def is_stable(self, state: StateId) -> bool:
+        """A state is stable if it has no outgoing tau."""
+        return not any(e.is_tau() for e, _ in self._succ[state])
+
+    def is_deadlocked(self, state: StateId) -> bool:
+        """No transitions at all and not a post-termination state."""
+        return not self._succ[state]
+
+    def tau_closure(self, states: FrozenSet[StateId]) -> FrozenSet[StateId]:
+        """All states reachable from *states* by zero or more tau steps."""
+        seen: Set[StateId] = set(states)
+        work = deque(states)
+        while work:
+            state = work.popleft()
+            for target in self.tau_successors(state):
+                if target not in seen:
+                    seen.add(target)
+                    work.append(target)
+        return frozenset(seen)
+
+    def alphabet(self) -> FrozenSet[Event]:
+        """Every visible event appearing on some transition."""
+        events: Set[Event] = set()
+        for edges in self._succ:
+            for event, _ in edges:
+                if event.is_visible():
+                    events.add(event)
+        return frozenset(events)
+
+    def events_after(self, states: FrozenSet[StateId]) -> FrozenSet[Event]:
+        """Visible/tick events available from any of the given states."""
+        events: Set[Event] = set()
+        for state in states:
+            for event, _ in self._succ[state]:
+                if not event.is_tau():
+                    events.add(event)
+        return frozenset(events)
+
+    def walk(self, trace: List[Event]) -> Optional[FrozenSet[StateId]]:
+        """The set of states reachable by *trace* (with taus), or None if impossible."""
+        current = self.tau_closure(frozenset([self.initial]))
+        for event in trace:
+            step: Set[StateId] = set()
+            for state in current:
+                for edge_event, target in self._succ[state]:
+                    if edge_event == event:
+                        step.add(target)
+            if not step:
+                return None
+            current = self.tau_closure(frozenset(step))
+        return current
+
+    def iter_states(self) -> Iterator[StateId]:
+        return iter(range(len(self._succ)))
+
+    def to_dot(self, name: str = "lts") -> str:
+        """Render the LTS in Graphviz dot format (FDR-style visualisation)."""
+        lines = ["digraph {} {{".format(name), "  rankdir=LR;"]
+        lines.append('  init [shape=point, label=""];')
+        lines.append("  init -> s{};".format(self.initial))
+        for state in self.iter_states():
+            shape = "doublecircle" if self.is_deadlocked(state) else "circle"
+            lines.append('  s{} [shape={}, label="{}"];'.format(state, shape, state))
+        for state in self.iter_states():
+            for event, target in self._succ[state]:
+                label = str(event)
+                lines.append('  s{} -> s{} [label="{}"];'.format(state, target, label))
+        lines.append("}")
+        return "\n".join(lines)
+
+
+DEFAULT_STATE_LIMIT = 200_000
+
+
+def compile_lts(
+    process: Process,
+    env: Optional[Environment] = None,
+    max_states: int = DEFAULT_STATE_LIMIT,
+) -> LTS:
+    """Compile a process term into a finite LTS by exhaustive exploration.
+
+    Structurally equal terms are merged into one state, which ties recursive
+    definitions back into cycles.  Raises :class:`StateSpaceLimitExceeded` if
+    more than *max_states* distinct terms are reached.
+    """
+    env = env or Environment()
+    lts = LTS()
+    index: Dict[Process, StateId] = {}
+
+    def state_of(term: Process) -> StateId:
+        existing = index.get(term)
+        if existing is not None:
+            return existing
+        if len(index) >= max_states:
+            raise StateSpaceLimitExceeded(max_states)
+        state = lts.add_state(term)
+        index[term] = state
+        return state
+
+    root = state_of(process)
+    lts.initial = root
+    work: deque = deque([process])
+    expanded: Set[StateId] = set()
+    while work:
+        term = work.popleft()
+        source = index[term]
+        if source in expanded:
+            continue
+        expanded.add(source)
+        for event, successor in sos_transitions(term, env):
+            known = successor in index
+            target = state_of(successor)
+            lts.add_transition(source, event, target)
+            if not known:
+                work.append(successor)
+    return lts
+
+
+def reachable_visible_traces(
+    lts: LTS, max_length: int
+) -> Set[Tuple[Event, ...]]:
+    """All visible traces (tick included) of length <= max_length.
+
+    Used by tests to compare the operational semantics against the paper's
+    denotational trace definitions.  Exponential in *max_length* -- only for
+    small models.
+    """
+    results: Set[Tuple[Event, ...]] = {()}
+    start = lts.tau_closure(frozenset([lts.initial]))
+    frontier: List[Tuple[Tuple[Event, ...], FrozenSet[StateId]]] = [((), start)]
+    for _ in range(max_length):
+        next_frontier: List[Tuple[Tuple[Event, ...], FrozenSet[StateId]]] = []
+        for trace, states in frontier:
+            by_event: Dict[Event, Set[StateId]] = {}
+            for state in states:
+                for event, target in lts.successors(state):
+                    if event.is_tau():
+                        continue
+                    by_event.setdefault(event, set()).add(target)
+            for event, targets in by_event.items():
+                extended = trace + (event,)
+                if extended not in results:
+                    results.add(extended)
+                    if not event.is_tick():
+                        closure = lts.tau_closure(frozenset(targets))
+                        next_frontier.append((extended, closure))
+        frontier = next_frontier
+        if not frontier:
+            break
+    return results

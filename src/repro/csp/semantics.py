@@ -1,0 +1,181 @@
+"""Structural operational semantics for CSP process terms.
+
+:func:`transitions` computes the labelled transitions of a process term,
+following the standard SOS rules for the operators in the paper's grammar
+(Sec. IV-A2).  The rules implemented:
+
+* ``Stop`` and ``Omega`` have no transitions.
+* ``Skip`` performs tick and becomes ``Omega``.
+* ``e -> P`` performs *e* and becomes *P*.
+* External choice is resolved by the first visible (or tick) event; internal
+  (tau) moves of a branch do not resolve it.
+* Internal choice silently (tau) commits to either branch.
+* ``P1 ; P2`` converts P1's tick into a tau move to P2.
+* Generalised parallel synchronises on the sync set *and on tick* -- the
+  paper's definition is synchronisation on ``A ∪ {✓}``; interleaving is
+  the special case with an empty sync set.
+* Hiding converts hidden visible events into tau.
+* Renaming relabels visible events.
+* A ``ProcessRef`` unwinds to its definition without introducing a tau,
+  exactly as FDR compiles named equations; unguarded recursion (``P = P``)
+  is detected and reported rather than looping forever.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Tuple
+
+from .events import Event, TAU, TICK
+from .process import (
+    Environment,
+    Interrupt,
+    ExternalChoice,
+    GenParallel,
+    Hiding,
+    Interleave,
+    InternalChoice,
+    OMEGA,
+    Omega,
+    Prefix,
+    Process,
+    ProcessRef,
+    Renaming,
+    SeqComp,
+    Skip,
+    Stop,
+)
+
+Transition = Tuple[Event, Process]
+
+
+class UnguardedRecursionError(RuntimeError):
+    """Raised when a recursive definition has no event guard (e.g. ``P = P``)."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(
+            "unguarded recursion through process {!r}: the definition reaches "
+            "itself without performing any event".format(name)
+        )
+        self.name = name
+
+
+def transitions(process: Process, env: Environment) -> List[Transition]:
+    """All one-step transitions ``(event, successor)`` of *process*."""
+    return _transitions(process, env, frozenset())
+
+
+def initials(process: Process, env: Environment) -> FrozenSet[Event]:
+    """The set of events the process can immediately perform (including tau/tick)."""
+    return frozenset(event for event, _ in transitions(process, env))
+
+
+def _transitions(
+    process: Process, env: Environment, unwinding: FrozenSet[str]
+) -> List[Transition]:
+    if isinstance(process, (Stop, Omega)):
+        return []
+
+    if isinstance(process, Skip):
+        return [(TICK, OMEGA)]
+
+    if isinstance(process, Prefix):
+        return [(process.event, process.continuation)]
+
+    if isinstance(process, ExternalChoice):
+        result: List[Transition] = []
+        for event, successor in _transitions(process.left, env, unwinding):
+            if event.is_tau():
+                result.append((TAU, ExternalChoice(successor, process.right)))
+            else:
+                result.append((event, successor))
+        for event, successor in _transitions(process.right, env, unwinding):
+            if event.is_tau():
+                result.append((TAU, ExternalChoice(process.left, successor)))
+            else:
+                result.append((event, successor))
+        return result
+
+    if isinstance(process, InternalChoice):
+        return [(TAU, process.left), (TAU, process.right)]
+
+    if isinstance(process, SeqComp):
+        result = []
+        for event, successor in _transitions(process.first, env, unwinding):
+            if event.is_tick():
+                result.append((TAU, process.second))
+            else:
+                result.append((event, SeqComp(successor, process.second)))
+        return result
+
+    if isinstance(process, (GenParallel, Interleave)):
+        if isinstance(process, GenParallel):
+            sync = process.sync
+            rebuild = lambda l, r: GenParallel(l, r, sync)  # noqa: E731
+        else:
+            sync = None  # empty sync set
+            rebuild = Interleave
+        left_moves = _transitions(process.left, env, unwinding)
+        right_moves = _transitions(process.right, env, unwinding)
+        result = []
+
+        def must_sync(event: Event) -> bool:
+            if event.is_tick():
+                return True
+            if event.is_tau():
+                return False
+            return sync is not None and event in sync
+
+        for event, successor in left_moves:
+            if not must_sync(event):
+                result.append((event, rebuild(successor, process.right)))
+        for event, successor in right_moves:
+            if not must_sync(event):
+                result.append((event, rebuild(process.left, successor)))
+        for levent, lsucc in left_moves:
+            if not must_sync(levent):
+                continue
+            for revent, rsucc in right_moves:
+                if revent == levent:
+                    result.append((levent, rebuild(lsucc, rsucc)))
+        return result
+
+    if isinstance(process, Interrupt):
+        result = []
+        for event, successor in _transitions(process.primary, env, unwinding):
+            if event.is_tick():
+                result.append((TICK, OMEGA))
+            else:
+                result.append((event, Interrupt(successor, process.handler)))
+        for event, successor in _transitions(process.handler, env, unwinding):
+            if event.is_tau():
+                result.append((TAU, Interrupt(process.primary, successor)))
+            elif event.is_tick():
+                result.append((TICK, OMEGA))
+            else:
+                result.append((event, successor))
+        return result
+
+    if isinstance(process, Hiding):
+        result = []
+        for event, successor in _transitions(process.process, env, unwinding):
+            rest = Hiding(successor, process.hidden)
+            if event.is_visible() and event in process.hidden:
+                result.append((TAU, rest))
+            else:
+                result.append((event, rest))
+        return result
+
+    if isinstance(process, Renaming):
+        result = []
+        for event, successor in _transitions(process.process, env, unwinding):
+            renamed = process.rename_event(event) if event.is_visible() else event
+            result.append((renamed, Renaming(successor, dict(process.mapping))))
+        return result
+
+    if isinstance(process, ProcessRef):
+        if process.name in unwinding:
+            raise UnguardedRecursionError(process.name)
+        body = env.resolve(process.name)
+        return _transitions(body, env, unwinding | {process.name})
+
+    raise TypeError("unknown process term: {!r}".format(process))

@@ -1,0 +1,304 @@
+"""Abstract syntax tree for the supported CSPm subset.
+
+Two node families:
+
+* *Declarations* -- ``datatype``, ``nametype``, ``channel``, process
+  equations (possibly parameterised), and ``assert`` statements.
+* *Expressions* -- a single expression grammar covering both process
+  expressions (Table I operators) and the value/set expressions CSPm borrows
+  from its Haskell-like functional layer.
+
+Nodes are plain frozen dataclasses; evaluation lives in
+:mod:`repro.cspm.evaluator`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+class Node:
+    """Base class for all CSPm AST nodes."""
+
+
+class Expr(Node):
+    """Base class for expressions."""
+
+
+class Decl(Node):
+    """Base class for top-level declarations."""
+
+
+# -- expressions --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Name(Expr):
+    """An identifier reference: a process, channel, constructor or variable."""
+
+    ident: str
+
+
+@dataclass(frozen=True)
+class Number(Expr):
+    value: int
+
+
+@dataclass(frozen=True)
+class BoolLit(Expr):
+    value: bool
+
+
+@dataclass(frozen=True)
+class Stop(Expr):
+    """The STOP process."""
+
+
+@dataclass(frozen=True)
+class Skip(Expr):
+    """The SKIP process."""
+
+
+@dataclass(frozen=True)
+class CommField(Node):
+    """One communication field of a prefix: ``!expr``, ``?var`` or ``.expr``.
+
+    *kind* is one of ``"!"``, ``"?"`` or ``"."``.  For ``?`` the payload is
+    the bound variable name (plus an optional restriction set); otherwise it
+    is the value expression.
+    """
+
+    kind: str
+    var: Optional[str] = None
+    expr: Optional[Expr] = None
+    restriction: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class PrefixExpr(Expr):
+    """``channel<fields> -> continuation``."""
+
+    channel: str
+    comm_fields: Tuple[CommField, ...]
+    continuation: Expr
+
+
+@dataclass(frozen=True)
+class ExternalChoiceExpr(Expr):
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class InternalChoiceExpr(Expr):
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class SeqExpr(Expr):
+    first: Expr
+    second: Expr
+
+
+@dataclass(frozen=True)
+class ParallelExpr(Expr):
+    """``left [| sync |] right`` -- generalised parallel over a sync set."""
+
+    left: Expr
+    sync: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class AlphaParallelExpr(Expr):
+    """``left [ lalpha || ralpha ] right`` -- alphabetised parallel."""
+
+    left: Expr
+    left_alpha: Expr
+    right_alpha: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class InterleaveExpr(Expr):
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class InterruptExpr(Expr):
+    """``primary /\\ handler`` -- the handler may take over at any moment."""
+
+    primary: Expr
+    handler: Expr
+
+
+@dataclass(frozen=True)
+class HideExpr(Expr):
+    process: Expr
+    hidden: Expr
+
+
+@dataclass(frozen=True)
+class RenameExpr(Expr):
+    """``process [[ new <- old, ... ]]`` (FDR writes target <- source)."""
+
+    process: Expr
+    pairs: Tuple[Tuple[Expr, Expr], ...]  # (target, source) event expressions
+
+
+@dataclass(frozen=True)
+class IfExpr(Expr):
+    condition: Expr
+    then_branch: Expr
+    else_branch: Expr
+
+
+@dataclass(frozen=True)
+class GuardExpr(Expr):
+    """The boolean guard ``condition & process`` (STOP when false)."""
+
+    condition: Expr
+    process: Expr
+
+
+@dataclass(frozen=True)
+class LetExpr(Expr):
+    """``let <local defs> within <expr>``."""
+
+    definitions: Tuple["ProcessDef", ...]
+    body: Expr
+
+
+@dataclass(frozen=True)
+class Apply(Expr):
+    """Application of a parameterised definition: ``P(x, y)``."""
+
+    function: Expr
+    args: Tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """Arithmetic / comparison / boolean / set binary operators."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    op: str
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class SetLit(Expr):
+    """``{ e1, e2, ... }``."""
+
+    elements: Tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class SetRange(Expr):
+    """``{ low .. high }``."""
+
+    low: Expr
+    high: Expr
+
+
+@dataclass(frozen=True)
+class EnumSet(Expr):
+    """``{| ch1, ch2.x |}`` -- all events carried by the listed channel prefixes."""
+
+    members: Tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class EventsSet(Expr):
+    """The CSPm constant ``Events`` -- every declared channel's events."""
+
+
+@dataclass(frozen=True)
+class DottedExpr(Expr):
+    """A dotted value/event expression such as ``send.reqSw``."""
+
+    parts: Tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class ReplicatedOp(Expr):
+    """Replicated operator: ``[] x : S @ P(x)`` / ``||| x : S @ P(x)``."""
+
+    op: str  # "[]", "|~|", "|||"
+    variable: str
+    domain: Expr
+    body: Expr
+
+
+# -- declarations --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DatatypeDecl(Decl):
+    """``datatype msgs = reqSw | rptSw | ...`` (nullary constructors only)."""
+
+    name: str
+    constructors: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class NametypeDecl(Decl):
+    """``nametype Small = {0..3}`` -- a named value set."""
+
+    name: str
+    definition: Expr
+
+
+@dataclass(frozen=True)
+class ChannelDecl(Decl):
+    """``channel send, rec : msgs.Ids`` -- shared field types per declaration."""
+
+    names: Tuple[str, ...]
+    field_types: Tuple[Expr, ...]  # empty for dataless channels
+
+
+@dataclass(frozen=True)
+class ProcessDef(Decl):
+    """``Name(params) = body`` -- a process or value equation."""
+
+    name: str
+    params: Tuple[str, ...]
+    body: Expr
+
+
+@dataclass(frozen=True)
+class AssertDecl(Decl):
+    """``assert Spec [T= Impl`` or ``assert P :[deadlock free]``."""
+
+    kind: str  # "T", "F", "FD", "deadlock free", "divergence free", "deterministic"
+    left: Expr
+    right: Optional[Expr] = None
+    negated: bool = False
+
+
+@dataclass
+class Script(Node):
+    """A whole CSPm file: an ordered list of declarations."""
+
+    declarations: List[Decl] = field(default_factory=list)
+
+    def process_defs(self) -> List[ProcessDef]:
+        return [d for d in self.declarations if isinstance(d, ProcessDef)]
+
+    def channels(self) -> List[ChannelDecl]:
+        return [d for d in self.declarations if isinstance(d, ChannelDecl)]
+
+    def datatypes(self) -> List[DatatypeDecl]:
+        return [d for d in self.declarations if isinstance(d, DatatypeDecl)]
+
+    def assertions(self) -> List[AssertDecl]:
+        return [d for d in self.declarations if isinstance(d, AssertDecl)]

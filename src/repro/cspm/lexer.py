@@ -1,0 +1,194 @@
+"""Lexer for the machine-readable CSP dialect (CSPm).
+
+Covers the subset of CSPm the paper relies on (Table I plus the declaration
+forms appearing in the generated model of Fig. 3): channel / datatype /
+nametype declarations, process equations, the operators of Table I, set and
+enumerated-channel-set syntax, ``assert`` statements and comments.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, NamedTuple, Optional
+
+
+class CspmSyntaxError(SyntaxError):
+    """A lexing or parsing error, carrying source position."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__("{} (line {}, column {})".format(message, line, column))
+        self.line = line
+        self.column = column
+
+
+class Token(NamedTuple):
+    kind: str
+    text: str
+    line: int
+    column: int
+
+
+KEYWORDS = frozenset(
+    {
+        "channel",
+        "datatype",
+        "nametype",
+        "assert",
+        "if",
+        "then",
+        "else",
+        "let",
+        "within",
+        "STOP",
+        "SKIP",
+        "true",
+        "false",
+        "not",
+        "and",
+        "or",
+        "union",
+        "inter",
+        "diff",
+        "Events",
+    }
+)
+
+# longest-match-first multi-character operators
+_OPERATORS = [
+    ("[T=", "TRACE_REFINES"),
+    ("[F=", "FAILURES_REFINES"),
+    ("[FD=", "FD_REFINES"),
+    ("|~|", "INTERNAL_CHOICE"),
+    ("|||", "INTERLEAVE"),
+    ("[|", "LPAR_SYNC"),
+    ("|]", "RPAR_SYNC"),
+    ("{|", "LENUM"),
+    ("|}", "RENUM"),
+    ("[[", "LRENAME"),
+    ("]]", "RRENAME"),
+    ("/\\", "INTERRUPT"),
+    ("<-", "LARROW"),
+    ("->", "ARROW"),
+    ("[]", "EXTERNAL_CHOICE"),
+    ("==", "EQ"),
+    ("!=", "NEQ"),
+    ("<=", "LE"),
+    (">=", "GE"),
+    ("..", "DOTDOT"),
+    (":[", "LPROP"),
+    ("&&", "BOOL_AND"),
+    ("||", "BOOL_OR"),
+    ("@@", "ATAT"),
+    ("=", "EQUALS"),
+    ("(", "LPAREN"),
+    (")", "RPAREN"),
+    ("{", "LBRACE"),
+    ("}", "RBRACE"),
+    ("[", "LBRACKET"),
+    ("]", "RBRACKET"),
+    ("<", "LT"),
+    (">", "GT"),
+    (",", "COMMA"),
+    (";", "SEMI"),
+    (":", "COLON"),
+    ("?", "QUERY"),
+    ("!", "BANG"),
+    (".", "DOT"),
+    ("\\", "HIDE"),
+    ("|", "BAR"),
+    ("+", "PLUS"),
+    ("-", "MINUS"),
+    ("*", "STAR"),
+    ("/", "SLASH"),
+    ("%", "PERCENT"),
+    ("&", "GUARD"),
+    ("@", "AT"),
+    ("_", "UNDERSCORE"),
+]
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenise CSPm source into a list of tokens ending with EOF.
+
+    Raises :class:`CspmSyntaxError` on any character that cannot start a
+    token.  Both ``--`` line comments and ``{- -}`` block comments are
+    stripped.
+    """
+    tokens: List[Token] = []
+    line = 1
+    column = 1
+    index = 0
+    length = len(source)
+
+    def error(message: str) -> CspmSyntaxError:
+        return CspmSyntaxError(message, line, column)
+
+    while index < length:
+        char = source[index]
+        if char == "\n":
+            index += 1
+            line += 1
+            column = 1
+            continue
+        if char in " \t\r":
+            index += 1
+            column += 1
+            continue
+        if source.startswith("--", index):
+            end = source.find("\n", index)
+            if end == -1:
+                break
+            column += end - index
+            index = end
+            continue
+        if source.startswith("{-", index):
+            end = source.find("-}", index + 2)
+            if end == -1:
+                raise error("unterminated block comment")
+            skipped = source[index : end + 2]
+            newlines = skipped.count("\n")
+            if newlines:
+                line += newlines
+                column = len(skipped) - skipped.rfind("\n")
+            else:
+                column += len(skipped)
+            index = end + 2
+            continue
+        if char.isdigit():
+            start = index
+            while index < length and source[index].isdigit():
+                index += 1
+            text = source[start:index]
+            tokens.append(Token("NUMBER", text, line, column))
+            column += len(text)
+            continue
+        if char.isalpha() or char == "_":
+            start = index
+            while index < length and (source[index].isalnum() or source[index] in "_'"):
+                index += 1
+            text = source[start:index]
+            kind = "KEYWORD" if text in KEYWORDS else "IDENT"
+            # a lone underscore is the wildcard token, not an identifier
+            if text == "_":
+                kind = "UNDERSCORE"
+            tokens.append(Token(kind, text, line, column))
+            column += len(text)
+            continue
+        matched: Optional[Token] = None
+        for symbol, kind in _OPERATORS:
+            if source.startswith(symbol, index):
+                matched = Token(kind, symbol, line, column)
+                break
+        if matched is None:
+            raise error("unexpected character {!r}".format(char))
+        tokens.append(matched)
+        index += len(matched.text)
+        column += len(matched.text)
+    tokens.append(Token("EOF", "", line, column))
+    return tokens
+
+
+def iter_significant(tokens: List[Token]) -> Iterator[Token]:
+    """All tokens except the trailing EOF (helper for tests/debugging)."""
+    for token in tokens:
+        if token.kind != "EOF":
+            yield token

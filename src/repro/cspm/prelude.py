@@ -1,0 +1,62 @@
+"""Ready-made CSPm fragments used across the case study and the tests.
+
+The paper's Sec. V-B sketches its models directly in CSPm; this module keeps
+those canonical scripts in one place so tests, examples and benchmarks all
+load the same text.
+"""
+
+#: The paper's integrity property and the basic VMG/ECU composition of
+#: Sec. V-B, as a complete loadable script.
+SP02_SCRIPT = """
+-- Security property SP02 (paper Sec. V-B): every software inventory
+-- request (reqSw) is answered by a software list response (rptSw).
+
+datatype msgs = reqSw | rptSw | reqApp | rptUpd
+
+channel send, rec : msgs
+
+SP02 = send!reqSw -> rec!rptSw -> SP02
+
+VMG = send!reqSw -> rec?x -> VMG
+
+ECU = send?x -> rec!rptSw -> ECU
+
+SYSTEM = VMG [| {| send, rec |} |] ECU
+
+assert SP02 [T= SYSTEM
+"""
+
+#: A deliberately flawed ECU that reports an update result (rptUpd) to a
+#: software inventory request -- the integrity property must fail on it.
+SP02_FLAWED_SCRIPT = """
+datatype msgs = reqSw | rptSw | reqApp | rptUpd
+
+channel send, rec : msgs
+
+SP02 = send!reqSw -> rec!rptSw -> SP02
+
+VMG = send!reqSw -> rec?x -> VMG
+
+ECUFLAWED = send?x -> (rec!rptSw -> ECUFLAWED [] rec!rptUpd -> ECUFLAWED)
+
+SYSTEM = VMG [| {| send, rec |} |] ECUFLAWED
+
+assert SP02 [T= SYSTEM
+"""
+
+#: The shape of the generated model in the paper's Fig. 3: channel type
+#: declarations extracted from CAPL message declarations plus one recursive
+#: process per 'on message' event procedure.
+FIG3_STYLE_SCRIPT = """
+-- ECU implementation model automatically generated from CAPL source
+
+datatype msgs = reqSw | rptSw | reqApp | rptUpd
+
+channel send, rec : msgs
+
+ONMSG_REQSW = send!reqSw -> rec!rptSw -> ONMSG_REQSW
+
+ONMSG_REQAPP = send!reqApp -> rec!rptUpd -> ONMSG_REQAPP
+
+ECU_IMPL = ONMSG_REQSW [] ONMSG_REQAPP
+"""

@@ -1,0 +1,71 @@
+"""Refinement checker for CSP -- the FDR substitute (paper Sec. IV-D).
+
+Implements specification normalisation, trace and stable-failures refinement
+with shortest counterexamples, plus the standard deadlock / divergence /
+determinism assertions, over the LTSs compiled by :mod:`repro.csp`.
+"""
+
+from .counterexample import (
+    Counterexample,
+    DeadlockCounterexample,
+    DivergenceCounterexample,
+    FailureCounterexample,
+    NondeterminismCounterexample,
+    TraceCounterexample,
+)
+from .compress import bisimulation_classes, compression_ratio, minimise
+from .normalise import NormalisedSpec, minimal_sets, normalise, tau_cycle_states
+from .refine import (
+    CheckResult,
+    check_deadlock_free,
+    check_deterministic,
+    check_divergence_free,
+    check_failures_refinement,
+    check_fd_refinement,
+    check_trace_refinement,
+)
+from .assertions import (
+    Assertion,
+    fd_refinement,
+    PropertyAssertion,
+    RefinementAssertion,
+    Session,
+    deadlock_free,
+    deterministic,
+    divergence_free,
+    failures_refinement,
+    trace_refinement,
+)
+
+__all__ = [
+    "Assertion",
+    "CheckResult",
+    "Counterexample",
+    "DeadlockCounterexample",
+    "DivergenceCounterexample",
+    "FailureCounterexample",
+    "NondeterminismCounterexample",
+    "NormalisedSpec",
+    "PropertyAssertion",
+    "RefinementAssertion",
+    "Session",
+    "TraceCounterexample",
+    "bisimulation_classes",
+    "check_deadlock_free",
+    "check_deterministic",
+    "check_divergence_free",
+    "check_failures_refinement",
+    "check_fd_refinement",
+    "check_trace_refinement",
+    "deadlock_free",
+    "deterministic",
+    "divergence_free",
+    "failures_refinement",
+    "fd_refinement",
+    "compression_ratio",
+    "minimal_sets",
+    "minimise",
+    "normalise",
+    "tau_cycle_states",
+    "trace_refinement",
+]

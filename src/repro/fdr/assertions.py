@@ -1,0 +1,206 @@
+"""FDR-style assertions over process terms.
+
+FDR scripts end with ``assert`` statements; this module provides the same
+surface over our process algebra.  An :class:`Assertion` pairs process terms
+with a check; a :class:`Session` (the analogue of loading a script into FDR)
+holds an environment of process equations plus a list of assertions and runs
+them, producing a report of verdicts and counterexamples.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from ..csp.lts import DEFAULT_STATE_LIMIT, LTS, compile_lts
+from ..csp.process import Environment, Process
+from .refine import (
+    CheckResult,
+    check_fd_refinement,
+    check_deadlock_free,
+    check_deterministic,
+    check_divergence_free,
+    check_failures_refinement,
+    check_trace_refinement,
+)
+
+
+class Assertion:
+    """Base class: subclasses know how to compile their terms and check."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def check(self, env: Environment, max_states: int = DEFAULT_STATE_LIMIT) -> CheckResult:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return "{}({!r})".format(type(self).__name__, self.name)
+
+
+class RefinementAssertion(Assertion):
+    """``assert Spec [T= Impl`` or ``assert Spec [F= Impl``."""
+
+    def __init__(
+        self,
+        spec: Process,
+        impl: Process,
+        model: str = "T",
+        name: Optional[str] = None,
+    ) -> None:
+        if model not in ("T", "F", "FD"):
+            raise ValueError(
+                "model must be 'T' (traces), 'F' (failures) or 'FD' "
+                "(failures-divergences)"
+            )
+        label = name or "{!r} [{}= {!r}".format(spec, model, impl)
+        super().__init__(label)
+        self.spec = spec
+        self.impl = impl
+        self.model = model
+
+    def check(self, env: Environment, max_states: int = DEFAULT_STATE_LIMIT) -> CheckResult:
+        spec_lts = compile_lts(self.spec, env, max_states)
+        impl_lts = compile_lts(self.impl, env, max_states)
+        if self.model == "T":
+            return check_trace_refinement(spec_lts, impl_lts, self.name)
+        if self.model == "FD":
+            return check_fd_refinement(spec_lts, impl_lts, self.name)
+        return check_failures_refinement(spec_lts, impl_lts, self.name)
+
+
+class PropertyAssertion(Assertion):
+    """``assert P :[deadlock free]`` and friends."""
+
+    _CHECKS: dict = {
+        "deadlock free": check_deadlock_free,
+        "divergence free": check_divergence_free,
+        "deterministic": check_deterministic,
+    }
+
+    def __init__(self, process: Process, property_name: str, name: Optional[str] = None) -> None:
+        if property_name not in self._CHECKS:
+            raise ValueError(
+                "unknown property {!r}; known: {}".format(
+                    property_name, sorted(self._CHECKS)
+                )
+            )
+        super().__init__(name or "{!r} :[{}]".format(process, property_name))
+        self.process = process
+        self.property_name = property_name
+
+    def check(self, env: Environment, max_states: int = DEFAULT_STATE_LIMIT) -> CheckResult:
+        lts = compile_lts(self.process, env, max_states)
+        checker: Callable[..., CheckResult] = self._CHECKS[self.property_name]
+        return checker(lts, self.name)
+
+
+class Session:
+    """An FDR session: process equations plus assertions to discharge."""
+
+    def __init__(self, env: Optional[Environment] = None) -> None:
+        self.env = env or Environment()
+        self.assertions: List[Assertion] = []
+
+    def define(self, name: str, body: Process) -> "Session":
+        self.env.bind(name, body)
+        return self
+
+    def assert_refinement(
+        self,
+        spec: Process,
+        impl: Process,
+        model: str = "T",
+        name: Optional[str] = None,
+    ) -> "Session":
+        self.assertions.append(RefinementAssertion(spec, impl, model, name))
+        return self
+
+    def assert_property(
+        self, process: Process, property_name: str, name: Optional[str] = None
+    ) -> "Session":
+        self.assertions.append(PropertyAssertion(process, property_name, name))
+        return self
+
+    def run(self, max_states: int = DEFAULT_STATE_LIMIT) -> List[CheckResult]:
+        """Check every assertion in order; never raises on a failed verdict."""
+        return [assertion.check(self.env, max_states) for assertion in self.assertions]
+
+    def report(self, max_states: int = DEFAULT_STATE_LIMIT) -> str:
+        """Run all assertions and format an FDR-like textual report."""
+        results = self.run(max_states)
+        lines = [result.summary() for result in results]
+        passed = sum(1 for result in results if result.passed)
+        lines.append("{}/{} assertions passed".format(passed, len(results)))
+        return "\n".join(lines)
+
+
+# -- one-shot convenience wrappers ------------------------------------------
+
+
+def trace_refinement(
+    spec: Process,
+    impl: Process,
+    env: Optional[Environment] = None,
+    name: Optional[str] = None,
+    max_states: int = DEFAULT_STATE_LIMIT,
+) -> CheckResult:
+    """Check ``spec [T= impl`` in one call."""
+    return RefinementAssertion(spec, impl, "T", name).check(
+        env or Environment(), max_states
+    )
+
+
+def fd_refinement(
+    spec: Process,
+    impl: Process,
+    env: Optional[Environment] = None,
+    name: Optional[str] = None,
+    max_states: int = DEFAULT_STATE_LIMIT,
+) -> CheckResult:
+    """Check ``spec [FD= impl`` in one call."""
+    return RefinementAssertion(spec, impl, "FD", name).check(
+        env or Environment(), max_states
+    )
+
+
+def failures_refinement(
+    spec: Process,
+    impl: Process,
+    env: Optional[Environment] = None,
+    name: Optional[str] = None,
+    max_states: int = DEFAULT_STATE_LIMIT,
+) -> CheckResult:
+    """Check ``spec [F= impl`` in one call."""
+    return RefinementAssertion(spec, impl, "F", name).check(
+        env or Environment(), max_states
+    )
+
+
+def deadlock_free(
+    process: Process,
+    env: Optional[Environment] = None,
+    max_states: int = DEFAULT_STATE_LIMIT,
+) -> CheckResult:
+    return PropertyAssertion(process, "deadlock free").check(
+        env or Environment(), max_states
+    )
+
+
+def divergence_free(
+    process: Process,
+    env: Optional[Environment] = None,
+    max_states: int = DEFAULT_STATE_LIMIT,
+) -> CheckResult:
+    return PropertyAssertion(process, "divergence free").check(
+        env or Environment(), max_states
+    )
+
+
+def deterministic(
+    process: Process,
+    env: Optional[Environment] = None,
+    max_states: int = DEFAULT_STATE_LIMIT,
+) -> CheckResult:
+    return PropertyAssertion(process, "deterministic").check(
+        env or Environment(), max_states
+    )

@@ -1,0 +1,61 @@
+"""``cspcheck`` -- command-line refinement checking of CSPm scripts.
+
+The direct FDR-replacement workflow: load a ``.csp`` file, discharge every
+``assert`` in it, print FDR-style verdicts with counterexample traces, and
+exit non-zero if any assertion fails.
+
+Usage::
+
+    cspcheck model.csp                    # run the script's assertions
+    cspcheck model.csp --max-states 1e6   # larger state budget
+    cspcheck model.csp --quiet            # verdict summary only
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from ..cspm.evaluator import load_file
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="cspcheck",
+        description="Check the assertions of a CSPm script (FDR-style)",
+    )
+    parser.add_argument("script", help="path to the .csp script")
+    parser.add_argument(
+        "--max-states",
+        type=float,
+        default=200_000,
+        help="state budget per compiled process (default 200000)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="print only the final summary line"
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_arg_parser().parse_args(argv)
+    model = load_file(args.script)
+    if not model.assertions:
+        sys.stderr.write("warning: script declares no assertions\n")
+        return 0
+    results = model.check_assertions(max_states=int(args.max_states))
+    failed = 0
+    for result in results:
+        if not result.passed:
+            failed += 1
+        if not args.quiet:
+            sys.stdout.write(result.summary() + "\n")
+    sys.stdout.write(
+        "{}/{} assertions passed\n".format(len(results) - failed, len(results))
+    )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

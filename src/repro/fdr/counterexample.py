@@ -1,0 +1,110 @@
+"""Counterexamples -- the 'insecure traces' the paper's workflow feeds back.
+
+The workflow in the paper's Fig. 1 ends with counterexamples being "fed back
+to software designers to review and rectify faults".  This module defines the
+structured counterexample objects the checker produces and the FDR-style
+textual rendering used by the examples and benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional, Tuple
+
+from ..csp.events import Event
+from ..csp.traces import format_trace
+
+Trace = Tuple[Event, ...]
+
+
+class Counterexample:
+    """A behaviour of the implementation not permitted by the specification."""
+
+    kind = "generic"
+
+    def __init__(self, trace: Trace) -> None:
+        self.trace = trace
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return "{}({})".format(type(self).__name__, format_trace(self.trace))
+
+
+class TraceCounterexample(Counterexample):
+    """The implementation performed a trace the specification forbids."""
+
+    kind = "trace"
+
+    def __init__(self, trace: Trace, forbidden: Event) -> None:
+        super().__init__(trace)
+        self.forbidden = forbidden
+
+    @property
+    def full_trace(self) -> Trace:
+        """The complete violating trace (allowed prefix + forbidden event)."""
+        return self.trace + (self.forbidden,)
+
+    def describe(self) -> str:
+        return (
+            "trace violation: after {} the implementation performs {} "
+            "which the specification does not allow".format(
+                format_trace(self.trace), self.forbidden
+            )
+        )
+
+
+class FailureCounterexample(Counterexample):
+    """The implementation stably refuses a set the specification must offer."""
+
+    kind = "failure"
+
+    def __init__(self, trace: Trace, offered: FrozenSet[Event], refused: FrozenSet[Event]) -> None:
+        super().__init__(trace)
+        self.offered = offered
+        self.refused = refused
+
+    def describe(self) -> str:
+        offered = ", ".join(sorted(str(e) for e in self.offered)) or "nothing"
+        return (
+            "failure violation: after {} the implementation stably offers "
+            "only {{{}}}, refusing events the specification requires".format(
+                format_trace(self.trace), offered
+            )
+        )
+
+
+class DeadlockCounterexample(Counterexample):
+    """A reachable state with no transitions (and not after termination)."""
+
+    kind = "deadlock"
+
+    def describe(self) -> str:
+        return "deadlock reachable after {}".format(format_trace(self.trace))
+
+
+class DivergenceCounterexample(Counterexample):
+    """A reachable cycle of internal (tau) activity."""
+
+    kind = "divergence"
+
+    def describe(self) -> str:
+        return "divergence (livelock) reachable after {}".format(format_trace(self.trace))
+
+
+class NondeterminismCounterexample(Counterexample):
+    """After a trace the process may both accept and refuse an event."""
+
+    kind = "nondeterminism"
+
+    def __init__(self, trace: Trace, ambiguous: Optional[Event]) -> None:
+        super().__init__(trace)
+        self.ambiguous = ambiguous
+
+    def describe(self) -> str:
+        if self.ambiguous is not None:
+            return (
+                "nondeterminism: after {} the event {} may be either "
+                "accepted or refused".format(format_trace(self.trace), self.ambiguous)
+            )
+        return "nondeterminism detected after {}".format(format_trace(self.trace))

@@ -1,0 +1,179 @@
+"""Specification normalisation (the first stage of an FDR-style check).
+
+Refinement checking compares every behaviour of the implementation against
+the specification.  To make that comparison a simple simulation, the
+specification LTS is first *normalised*: tau transitions are closed away and
+the result is made deterministic by the subset construction, exactly as FDR
+pre-processes the left-hand side of a refinement assertion.
+
+For the stable-failures model each normalised node additionally records the
+*minimal acceptance sets* -- the minimal sets of events offered by the stable
+states inside the node.  An implementation failure ``(s, X)`` is allowed iff
+some minimal acceptance is contained in the events the implementation still
+offers.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..csp.events import Event
+from ..csp.lts import LTS, StateId
+
+NodeId = int
+
+
+class NormalisedSpec:
+    """A deterministic, tau-free automaton with acceptance annotations."""
+
+    def __init__(self) -> None:
+        self.initial: NodeId = 0
+        #: per-node transition function on visible events (tick included)
+        self.afters: List[Dict[Event, NodeId]] = []
+        #: per-node minimal acceptance sets; empty tuple means the node has no
+        #: stable states (the spec diverges there and refuses nothing stably)
+        self.acceptances: List[Tuple[FrozenSet[Event], ...]] = []
+        #: the subset of original spec states each node represents
+        self.members: List[FrozenSet[StateId]] = []
+        #: True when the node contains a state on a tau cycle
+        self.divergent: List[bool] = []
+
+    @property
+    def node_count(self) -> int:
+        return len(self.afters)
+
+    def after(self, node: NodeId, event: Event) -> Optional[NodeId]:
+        return self.afters[node].get(event)
+
+    def events(self, node: NodeId) -> FrozenSet[Event]:
+        return frozenset(self.afters[node])
+
+    def allows_stable_refusal(self, node: NodeId, offered: FrozenSet[Event]) -> bool:
+        """May the spec, at this node, stably offer no more than *offered*?
+
+        True iff some minimal acceptance of the node is contained in
+        *offered* -- i.e. the spec itself has a stable state that offers a
+        subset of what the implementation offers, so the implementation's
+        refusal is also a spec refusal.
+        """
+        return any(acceptance <= offered for acceptance in self.acceptances[node])
+
+
+def minimal_sets(sets: Set[FrozenSet[Event]]) -> Tuple[FrozenSet[Event], ...]:
+    """Keep only the subset-minimal elements, in a deterministic order."""
+    kept: List[FrozenSet[Event]] = []
+    for candidate in sorted(sets, key=lambda s: (len(s), sorted(str(e) for e in s))):
+        if not any(existing <= candidate for existing in kept):
+            kept.append(candidate)
+    return tuple(kept)
+
+
+def tau_cycle_states(lts: LTS) -> FrozenSet[StateId]:
+    """States lying on a cycle of tau transitions (divergent states).
+
+    Uses Tarjan's SCC algorithm restricted to tau edges; a state diverges if
+    its tau-SCC has more than one state or it has a tau self-loop.
+    """
+    index_counter = [0]
+    index: Dict[StateId, int] = {}
+    lowlink: Dict[StateId, int] = {}
+    on_stack: Set[StateId] = set()
+    stack: List[StateId] = []
+    divergent: Set[StateId] = set()
+
+    # iterative Tarjan to avoid recursion limits on long tau chains
+    for root in lts.iter_states():
+        if root in index:
+            continue
+        work: List[Tuple[StateId, int]] = [(root, 0)]
+        while work:
+            state, child_index = work[-1]
+            if child_index == 0:
+                index[state] = index_counter[0]
+                lowlink[state] = index_counter[0]
+                index_counter[0] += 1
+                stack.append(state)
+                on_stack.add(state)
+            successors = lts.tau_successors(state)
+            advanced = False
+            while child_index < len(successors):
+                target = successors[child_index]
+                child_index += 1
+                if target not in index:
+                    work[-1] = (state, child_index)
+                    work.append((target, 0))
+                    advanced = True
+                    break
+                if target in on_stack:
+                    lowlink[state] = min(lowlink[state], index[target])
+            if advanced:
+                continue
+            work.pop()
+            if lowlink[state] == index[state]:
+                component: List[StateId] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == state:
+                        break
+                if len(component) > 1:
+                    divergent.update(component)
+                else:
+                    only = component[0]
+                    if only in lts.tau_successors(only):
+                        divergent.add(only)
+            if work:
+                parent, _ = work[-1]
+                lowlink[parent] = min(lowlink[parent], lowlink[state])
+    return frozenset(divergent)
+
+
+def normalise(lts: LTS) -> NormalisedSpec:
+    """Normalise an LTS: tau-closure plus subset construction with acceptances."""
+    spec = NormalisedSpec()
+    divergent_states = tau_cycle_states(lts)
+    node_index: Dict[FrozenSet[StateId], NodeId] = {}
+
+    def node_of(members: FrozenSet[StateId]) -> NodeId:
+        existing = node_index.get(members)
+        if existing is not None:
+            return existing
+        node = len(spec.afters)
+        node_index[members] = node
+        spec.afters.append({})
+        spec.members.append(members)
+        spec.divergent.append(any(state in divergent_states for state in members))
+        acceptance_sets: Set[FrozenSet[Event]] = set()
+        for state in members:
+            if lts.is_stable(state):
+                acceptance_sets.add(
+                    frozenset(e for e, _ in lts.successors(state))
+                )
+        spec.acceptances.append(minimal_sets(acceptance_sets))
+        return node
+
+    start = lts.tau_closure(frozenset([lts.initial]))
+    spec.initial = node_of(start)
+    work: deque = deque([start])
+    expanded: Set[NodeId] = set()
+    while work:
+        members = work.popleft()
+        node = node_index[members]
+        if node in expanded:
+            continue
+        expanded.add(node)
+        by_event: Dict[Event, Set[StateId]] = {}
+        for state in members:
+            for event, target in lts.successors(state):
+                if event.is_tau():
+                    continue
+                by_event.setdefault(event, set()).add(target)
+        for event, targets in sorted(by_event.items(), key=lambda kv: str(kv[0])):
+            closure = lts.tau_closure(frozenset(targets))
+            known = closure in node_index
+            spec.afters[node][event] = node_of(closure)
+            if not known:
+                work.append(closure)
+    return spec

@@ -1,0 +1,310 @@
+"""The refinement engine -- product-automaton checks with counterexamples.
+
+This is the working core of the FDR substitute.  A refinement assertion
+``Spec [T= Impl`` is decided by simulating the implementation LTS against the
+normalised specification: breadth-first search over pairs
+``(implementation state, specification node)``; any implementation event the
+specification node cannot match is a violation, and the BFS parent pointers
+reconstruct the shortest counterexample trace -- the "insecure trace" of the
+paper's workflow.
+
+Supported checks:
+
+* trace refinement ``[T=``  (the model the paper restricts itself to),
+* stable-failures refinement ``[F=`` (extension),
+* deadlock freedom, divergence freedom, determinism.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from ..csp.events import Event
+from ..csp.lts import LTS, StateId
+from .counterexample import (
+    Counterexample,
+    DeadlockCounterexample,
+    DivergenceCounterexample,
+    FailureCounterexample,
+    NondeterminismCounterexample,
+    TraceCounterexample,
+)
+from .normalise import NodeId, NormalisedSpec, normalise, tau_cycle_states
+
+Trace = Tuple[Event, ...]
+Pair = Tuple[StateId, NodeId]
+
+
+class CheckResult:
+    """Outcome of a single check: verdict, counterexample and search statistics."""
+
+    def __init__(
+        self,
+        name: str,
+        passed: bool,
+        counterexample: Optional[Counterexample] = None,
+        states_explored: int = 0,
+        transitions_explored: int = 0,
+    ) -> None:
+        self.name = name
+        self.passed = passed
+        self.counterexample = counterexample
+        self.states_explored = states_explored
+        self.transitions_explored = transitions_explored
+
+    def __bool__(self) -> bool:
+        return self.passed
+
+    def summary(self) -> str:
+        verdict = "PASSED" if self.passed else "FAILED"
+        line = "{}: {} ({} states, {} transitions explored)".format(
+            self.name, verdict, self.states_explored, self.transitions_explored
+        )
+        if self.counterexample is not None:
+            line += "\n  " + self.counterexample.describe()
+        return line
+
+    def __repr__(self) -> str:
+        return "CheckResult({!r}, passed={})".format(self.name, self.passed)
+
+
+class _ProductSearch:
+    """BFS over (implementation state, spec node) pairs with trace rebuild."""
+
+    def __init__(self, impl: LTS, spec: NormalisedSpec) -> None:
+        self.impl = impl
+        self.spec = spec
+        self.parents: Dict[Pair, Tuple[Optional[Pair], Optional[Event]]] = {}
+        self.transitions_explored = 0
+
+    def trace_to(self, pair: Pair) -> Trace:
+        events: List[Event] = []
+        cursor: Optional[Pair] = pair
+        while cursor is not None:
+            parent, event = self.parents[cursor]
+            if event is not None and not event.is_tau():
+                events.append(event)
+            cursor = parent
+        events.reverse()
+        return tuple(events)
+
+    def run(self, on_pair=None, prune=None) -> Optional[Counterexample]:
+        """Explore the product; return the first violation found (or None).
+
+        *on_pair* is an optional callback ``(pair, trace_builder) -> Counterexample|None``
+        used by the failures/determinism checks to impose extra per-pair
+        conditions.  *prune* is an optional predicate: pairs it accepts are
+        checked but not expanded (used by the FD check, where a divergent
+        specification node permits every continuation).
+        """
+        start: Pair = (self.impl.initial, self.spec.initial)
+        self.parents[start] = (None, None)
+        work: deque = deque([start])
+        while work:
+            pair = work.popleft()
+            impl_state, node = pair
+            if on_pair is not None:
+                violation = on_pair(pair, self.trace_to)
+                if violation is not None:
+                    return violation
+            if prune is not None and prune(pair):
+                continue
+            for event, target in self.impl.successors(impl_state):
+                self.transitions_explored += 1
+                if event.is_tau():
+                    next_pair: Pair = (target, node)
+                else:
+                    next_node = self.spec.after(node, event)
+                    if next_node is None:
+                        return TraceCounterexample(self.trace_to(pair), event)
+                    next_pair = (target, next_node)
+                if next_pair not in self.parents:
+                    self.parents[next_pair] = (pair, event)
+                    work.append(next_pair)
+        return None
+
+
+def check_trace_refinement(spec: LTS, impl: LTS, name: str = "Spec [T= Impl") -> CheckResult:
+    """Decide ``Spec ⊑T Impl`` (traces(Impl) ⊆ traces(Spec))."""
+    normalised = normalise(spec)
+    search = _ProductSearch(impl, normalised)
+    violation = search.run()
+    return CheckResult(
+        name,
+        violation is None,
+        violation,
+        states_explored=len(search.parents),
+        transitions_explored=search.transitions_explored,
+    )
+
+
+def check_failures_refinement(spec: LTS, impl: LTS, name: str = "Spec [F= Impl") -> CheckResult:
+    """Decide ``Spec ⊑F Impl`` in the stable-failures model.
+
+    Traces must refine, and every stable implementation state must offer a
+    superset of some minimal acceptance of the matching specification node.
+    """
+    normalised = normalise(spec)
+    search = _ProductSearch(impl, normalised)
+
+    def stable_check(pair: Pair, trace_to) -> Optional[Counterexample]:
+        impl_state, node = pair
+        if not search.impl.is_stable(impl_state):
+            return None
+        offered = frozenset(
+            event for event, _ in search.impl.successors(impl_state)
+        )
+        if normalised.allows_stable_refusal(node, offered):
+            return None
+        required = frozenset().union(*normalised.acceptances[node]) if normalised.acceptances[node] else frozenset()
+        return FailureCounterexample(trace_to(pair), offered, required - offered)
+
+    violation = search.run(on_pair=stable_check)
+    return CheckResult(
+        name,
+        violation is None,
+        violation,
+        states_explored=len(search.parents),
+        transitions_explored=search.transitions_explored,
+    )
+
+
+def check_fd_refinement(spec: LTS, impl: LTS, name: str = "Spec [FD= Impl") -> CheckResult:
+    """Decide ``Spec ⊑FD Impl`` in the failures-divergences model.
+
+    Beyond the stable-failures conditions, the implementation may only
+    diverge where the specification itself diverges; where the spec node is
+    divergent it behaves chaotically and permits everything (so the search
+    prunes there, exactly as FDR does).
+    """
+    normalised = normalise(spec)
+    impl_divergent = tau_cycle_states(impl)
+    search = _ProductSearch(impl, normalised)
+
+    def fd_check(pair: Pair, trace_to) -> Optional[Counterexample]:
+        impl_state, node = pair
+        if normalised.divergent[node]:
+            return None  # spec diverges here: chaotic, anything goes
+        if impl_state in impl_divergent:
+            return DivergenceCounterexample(trace_to(pair))
+        if not search.impl.is_stable(impl_state):
+            return None
+        offered = frozenset(event for event, _ in search.impl.successors(impl_state))
+        if normalised.allows_stable_refusal(node, offered):
+            return None
+        required = (
+            frozenset().union(*normalised.acceptances[node])
+            if normalised.acceptances[node]
+            else frozenset()
+        )
+        return FailureCounterexample(trace_to(pair), offered, required - offered)
+
+    violation = search.run(on_pair=fd_check, prune=lambda pair: normalised.divergent[pair[1]])
+    return CheckResult(
+        name,
+        violation is None,
+        violation,
+        states_explored=len(search.parents),
+        transitions_explored=search.transitions_explored,
+    )
+
+
+def _bfs_with_parents(lts: LTS):
+    """BFS over a single LTS yielding parent pointers for trace reconstruction."""
+    parents: Dict[StateId, Tuple[Optional[StateId], Optional[Event]]] = {
+        lts.initial: (None, None)
+    }
+    order: List[StateId] = []
+    work: deque = deque([lts.initial])
+    while work:
+        state = work.popleft()
+        order.append(state)
+        for event, target in lts.successors(state):
+            if target not in parents:
+                parents[target] = (state, event)
+                work.append(target)
+    return parents, order
+
+
+def _trace_from_parents(parents, state: StateId) -> Trace:
+    events: List[Event] = []
+    cursor: Optional[StateId] = state
+    while cursor is not None:
+        parent, event = parents[cursor]
+        if event is not None and not event.is_tau():
+            events.append(event)
+        cursor = parent
+    events.reverse()
+    return tuple(events)
+
+
+def check_deadlock_free(lts: LTS, name: str = "deadlock free") -> CheckResult:
+    """No reachable state refuses everything (termination does not count)."""
+    parents, order = _bfs_with_parents(lts)
+    transitions = 0
+    for state in order:
+        transitions += len(lts.successors(state))
+        if lts.successors(state):
+            continue
+        trace = _trace_from_parents(parents, state)
+        # a state reached by tick is the successfully-terminated state, which
+        # is not a deadlock
+        if trace and trace[-1].is_tick():
+            continue
+        return CheckResult(
+            name,
+            False,
+            DeadlockCounterexample(trace),
+            states_explored=len(order),
+            transitions_explored=transitions,
+        )
+    return CheckResult(name, True, None, len(order), transitions)
+
+
+def check_divergence_free(lts: LTS, name: str = "divergence free") -> CheckResult:
+    """No reachable cycle of tau transitions (no livelock)."""
+    divergent = tau_cycle_states(lts)
+    parents, order = _bfs_with_parents(lts)
+    transitions = sum(len(lts.successors(s)) for s in order)
+    for state in order:
+        if state in divergent:
+            return CheckResult(
+                name,
+                False,
+                DivergenceCounterexample(_trace_from_parents(parents, state)),
+                states_explored=len(order),
+                transitions_explored=transitions,
+            )
+    return CheckResult(name, True, None, len(order), transitions)
+
+
+def check_deterministic(lts: LTS, name: str = "deterministic") -> CheckResult:
+    """FDR's determinism check in the stable-failures sense.
+
+    A process is nondeterministic iff after some trace an event is both
+    possible (somewhere) and stably refusable (somewhere else).  We pair each
+    implementation state against the normalised automaton of the *same*
+    process; the normalised node knows every event possible after the trace.
+    """
+    normalised = normalise(lts)
+    search = _ProductSearch(lts, normalised)
+
+    def stable_check(pair: Pair, trace_to) -> Optional[Counterexample]:
+        impl_state, node = pair
+        if not lts.is_stable(impl_state):
+            return None
+        offered = frozenset(event for event, _ in lts.successors(impl_state))
+        for event in sorted(normalised.events(node), key=str):
+            if event not in offered:
+                return NondeterminismCounterexample(trace_to(pair), event)
+        return None
+
+    violation = search.run(on_pair=stable_check)
+    return CheckResult(
+        name,
+        violation is None,
+        violation,
+        states_explored=len(search.parents),
+        transitions_explored=search.transitions_explored,
+    )

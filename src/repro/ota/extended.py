@@ -1,0 +1,180 @@
+"""Extended X.1373 scope: Update Server <-> VMG <-> target ECU.
+
+The paper's demonstration deliberately excludes the update server
+(Sec. V-A1) and names its message types -- ``diagnose``, ``update_check``,
+``update``, ``update_report`` -- as future work (Sec. VIII-A).  This module
+implements that extension as CSP models:
+
+* the **Update Server** pushes an update after a successful check,
+* the **VMG** bridges: it diagnoses the ECU on the server's behalf, relays
+  the update as an apply request, and reports the outcome upstream,
+* the **target ECU** is the Sec. V scope unchanged.
+
+The end-to-end specification ``E2E_SPEC`` captures the full distribution
+chain; its refinement by the three-component composition is the extended
+analogue of SP02.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Optional
+
+from ..csp.events import Alphabet, Channel
+from ..csp.process import (
+    Environment,
+    GenParallel,
+    Prefix,
+    ProcessRef,
+    external_choice,
+    prefix,
+    ref,
+)
+from .messages import EXTENDED_MESSAGES
+
+
+class ExtendedSystem(NamedTuple):
+    """The three-component distribution chain, ready for checking."""
+
+    env: Environment
+    srv: Channel  # update server <-> VMG
+    send: Channel  # VMG -> ECU
+    rec: Channel  # ECU -> VMG
+    spec: ProcessRef
+    server: ProcessRef
+    vmg: ProcessRef
+    ecu: ProcessRef
+    system: ProcessRef
+
+
+def build_extended_system(env: Optional[Environment] = None) -> ExtendedSystem:
+    """Build the server-to-ECU update chain of Sec. VIII-A.
+
+    Message flow (one full distribution round):
+
+        SERVER --srv.diagnose-->      VMG
+        VMG    --send.reqSw-->        ECU       (diagnose downstream)
+        ECU    --rec.rptSw-->         VMG
+        VMG    --srv.diagnoseRpt-->   SERVER
+        SERVER --srv.update_check--> VMG        (is this vehicle eligible?)
+        VMG    --srv.update_check--> SERVER     (ack; kept symmetric)
+        SERVER --srv.update-->        VMG       (push the package)
+        VMG    --send.reqApp-->       ECU
+        ECU    --rec.rptUpd-->        VMG
+        VMG    --srv.update_report--> SERVER
+    """
+    env = env or Environment()
+    srv = Channel("srv", EXTENDED_MESSAGES)
+    send = Channel("send", EXTENDED_MESSAGES)
+    rec = Channel("rec", EXTENDED_MESSAGES)
+
+    # -- the update server drives the session
+    env.bind(
+        "SERVER",
+        prefix(
+            srv("diagnose"),
+            prefix(
+                srv("diagnoseRpt"),
+                prefix(
+                    srv("update_check"),
+                    prefix(
+                        srv("update"),
+                        prefix(srv("update_report"), ref("SERVER")),
+                    ),
+                ),
+            ),
+        ),
+    )
+
+    # -- the VMG bridges server-side and vehicle-side protocols
+    env.bind(
+        "XVMG",
+        prefix(
+            srv("diagnose"),
+            prefix(
+                send("reqSw"),
+                prefix(
+                    rec("rptSw"),
+                    prefix(
+                        srv("diagnoseRpt"),
+                        prefix(
+                            srv("update_check"),
+                            prefix(
+                                srv("update"),
+                                prefix(
+                                    send("reqApp"),
+                                    prefix(
+                                        rec("rptUpd"),
+                                        prefix(srv("update_report"), ref("XVMG")),
+                                    ),
+                                ),
+                            ),
+                        ),
+                    ),
+                ),
+            ),
+        ),
+    )
+
+    # -- the target ECU: the basic Sec. V behaviour, unchanged
+    env.bind(
+        "XECU",
+        external_choice(
+            prefix(send("reqSw"), prefix(rec("rptSw"), ref("XECU"))),
+            prefix(send("reqApp"), prefix(rec("rptUpd"), ref("XECU"))),
+        ),
+    )
+
+    vehicle_sync = Alphabet.from_channels(send, rec)
+    server_sync = srv.alphabet()
+    env.bind(
+        "XSYSTEM",
+        GenParallel(
+            ref("SERVER"),
+            GenParallel(ref("XVMG"), ref("XECU"), vehicle_sync),
+            server_sync,
+        ),
+    )
+
+    # -- the end-to-end specification: the full round in order
+    env.bind(
+        "E2E_SPEC",
+        prefix(
+            srv("diagnose"),
+            prefix(
+                send("reqSw"),
+                prefix(
+                    rec("rptSw"),
+                    prefix(
+                        srv("diagnoseRpt"),
+                        prefix(
+                            srv("update_check"),
+                            prefix(
+                                srv("update"),
+                                prefix(
+                                    send("reqApp"),
+                                    prefix(
+                                        rec("rptUpd"),
+                                        prefix(
+                                            srv("update_report"), ref("E2E_SPEC")
+                                        ),
+                                    ),
+                                ),
+                            ),
+                        ),
+                    ),
+                ),
+            ),
+        ),
+    )
+
+    return ExtendedSystem(
+        env,
+        srv,
+        send,
+        rec,
+        ref("E2E_SPEC"),
+        ref("SERVER"),
+        ref("XVMG"),
+        ref("XECU"),
+        ref("XSYSTEM"),
+    )

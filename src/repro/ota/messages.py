@@ -1,0 +1,96 @@
+"""The X.1373 message set of the case study (paper Table II).
+
+The demonstration scope (paper Fig. 2) covers the VMG and target ECU with
+four message types; the standard's full set -- which the paper lists as
+future work -- adds the update-server exchanges (``diagnose``,
+``update_check``, ``update``, ``update_report``), implemented here as the
+extended scope.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Tuple
+
+from ..capl.interpreter import MessageSpec
+from ..csp.events import Alphabet, Channel
+
+
+class MessageType(NamedTuple):
+    """One row of the paper's Table II."""
+
+    type_group: str
+    message_id: str
+    sender: str
+    receiver: str
+    description: str
+
+
+#: Paper Table II, verbatim.
+TABLE_II: Tuple[MessageType, ...] = (
+    MessageType("Diagnose", "reqSw", "VMG", "ECU", "Request diagnose software status"),
+    MessageType("Diagnose", "rptSw", "ECU", "VMG", "Result of software diagnosis"),
+    MessageType("Update", "reqApp", "VMG", "ECU", "Request apply update module"),
+    MessageType("Update", "rptUpd", "ECU", "VMG", "Result of applying update module"),
+)
+
+#: The basic demonstration message universe (Table II ids).
+BASIC_MESSAGES: Tuple[str, ...] = ("reqSw", "rptSw", "reqApp", "rptUpd")
+
+#: X.1373 server-side message types (paper Sec. V-A1 / VIII-A future work).
+SERVER_MESSAGES: Tuple[str, ...] = (
+    "diagnose",
+    "diagnoseRpt",
+    "update_check",
+    "update",
+    "update_report",
+)
+
+#: The extended universe: server <-> VMG <-> ECU.
+EXTENDED_MESSAGES: Tuple[str, ...] = BASIC_MESSAGES + SERVER_MESSAGES
+
+
+def basic_channels() -> Tuple[Channel, Channel]:
+    """The paper's ``channel send, rec : msgs`` pair (Sec. V-B)."""
+    send = Channel("send", BASIC_MESSAGES)
+    rec = Channel("rec", BASIC_MESSAGES)
+    return send, rec
+
+
+def extended_channels() -> Dict[str, Channel]:
+    """Channels of the extended scope: server link plus the vehicle link."""
+    return {
+        "srv": Channel("srv", EXTENDED_MESSAGES),  # update server <-> VMG
+        "send": Channel("send", EXTENDED_MESSAGES),  # VMG -> ECU
+        "rec": Channel("rec", EXTENDED_MESSAGES),  # ECU -> VMG
+    }
+
+
+def basic_alphabet() -> Alphabet:
+    send, rec = basic_channels()
+    return Alphabet.from_channels(send, rec)
+
+
+#: CAN wire identities for the simulated CANoe network (Fig. 2 demo system).
+CAN_MESSAGE_SPECS: Dict[str, MessageSpec] = {
+    "reqSw": MessageSpec(0x101, 1),
+    "rptSw": MessageSpec(0x102, 2),
+    "reqApp": MessageSpec(0x103, 4),
+    "rptUpd": MessageSpec(0x104, 1),
+}
+
+
+def table_ii_rows() -> List[Tuple[str, str, str, str, str]]:
+    """Table II as printable rows (benchmark T2 regenerates this table)."""
+    return [tuple(row) for row in TABLE_II]
+
+
+def render_table_ii() -> str:
+    header = "{:<10} {:<8} {:<6} {:<6} {}".format("Type", "Id", "From", "To", "Description")
+    lines = [header, "-" * len(header)]
+    for row in TABLE_II:
+        lines.append(
+            "{:<10} {:<8} {:<6} {:<6} {}".format(
+                row.type_group, row.message_id, row.sender, row.receiver, row.description
+            )
+        )
+    return "\n".join(lines)

@@ -1,0 +1,358 @@
+"""Hand-written CSP models of the OTA update case study (paper Sec. V).
+
+Three model families:
+
+* :func:`build_paper_system` -- the exact Sec. V-B scope: ``SP02``, a VMG
+  and an ECU composed as ``SYSTEM = VMG [|{|send,rec|}|] ECU`` (with the
+  seeded flaw variant for the negative result).
+* :func:`build_session_system` -- the full diagnose-then-update session over
+  the Table II message set.
+* :func:`build_secured_system` -- the shared-key (R05) analysis: the same
+  update flow under three protection levels (``none``, ``mac``,
+  ``mac_nonce``) composed with a Dolev-Yao intruder, exposing the injection
+  attack, the replay attack, and the secured configuration respectively.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
+
+from ..csp.events import Alphabet, Channel, Event, Value
+from ..csp.process import (
+    Environment,
+    GenParallel,
+    Prefix,
+    Process,
+    ProcessRef,
+    external_choice,
+    input_choice,
+    prefix,
+    ref,
+)
+from ..security.crypto import key, mac
+from ..security.intruder import IntruderBuilder
+from .messages import BASIC_MESSAGES, basic_channels
+
+
+class BasicSystem(NamedTuple):
+    """The Sec. V-B demonstration model, ready for checking."""
+
+    env: Environment
+    send: Channel
+    rec: Channel
+    sync: Alphabet
+    sp02: ProcessRef
+    vmg: ProcessRef
+    ecu: ProcessRef
+    system: Process
+
+
+def build_paper_system(
+    env: Optional[Environment] = None, flawed: bool = False
+) -> BasicSystem:
+    """The paper's SP02 scenario: ``SP02 ⊑T VMG [|{|send,rec|}|] ECU``.
+
+    With ``flawed=True`` the ECU may answer an inventory request with an
+    update report; the refinement then fails with the insecure trace
+    ``<send.reqSw, rec.rptUpd>``.
+    """
+    env = env or Environment()
+    send, rec = basic_channels()
+
+    # SP02 = send!reqSw -> rec!rptSw -> SP02          (paper Sec. V-B)
+    env.bind("SP02", prefix(send("reqSw"), prefix(rec("rptSw"), ref("SP02"))))
+
+    # VMG = send!reqSw -> rec?x -> VMG
+    env.bind("VMG", prefix(send("reqSw"), input_choice(rec, lambda _x: ref("VMG"))))
+
+    if flawed:
+        # the ECU may take the update path on an inventory request
+        env.bind(
+            "ECU",
+            input_choice(
+                send,
+                lambda _x: external_choice(
+                    prefix(rec("rptSw"), ref("ECU")),
+                    prefix(rec("rptUpd"), ref("ECU")),
+                ),
+            ),
+        )
+    else:
+        # ECU = send?x -> rec!rptSw -> ECU
+        env.bind("ECU", input_choice(send, lambda _x: prefix(rec("rptSw"), ref("ECU"))))
+
+    sync = Alphabet.from_channels(send, rec)
+    system = GenParallel(ref("VMG"), ref("ECU"), sync)
+    env.bind("SYSTEM", system)
+    return BasicSystem(env, send, rec, sync, ref("SP02"), ref("VMG"), ref("ECU"), ref("SYSTEM"))
+
+
+class SessionSystem(NamedTuple):
+    """The full diagnose-then-update session over Table II."""
+
+    env: Environment
+    send: Channel
+    rec: Channel
+    sync: Alphabet
+    spec: ProcessRef
+    system: Process
+
+
+def build_session_system(env: Optional[Environment] = None) -> SessionSystem:
+    """Diagnose phase then update phase, as one recurring session.
+
+    SESSION_SPEC = send.reqSw -> rec.rptSw -> send.reqApp -> rec.rptUpd -> SESSION_SPEC
+    """
+    env = env or Environment()
+    send, rec = basic_channels()
+    env.bind(
+        "SESSION_SPEC",
+        prefix(
+            send("reqSw"),
+            prefix(
+                rec("rptSw"),
+                prefix(send("reqApp"), prefix(rec("rptUpd"), ref("SESSION_SPEC"))),
+            ),
+        ),
+    )
+    env.bind(
+        "VMG_FULL",
+        prefix(
+            send("reqSw"),
+            input_choice(
+                rec,
+                lambda _x: prefix(
+                    send("reqApp"), input_choice(rec, lambda _y: ref("VMG_FULL"))
+                ),
+            ),
+        ),
+    )
+    env.bind(
+        "ECU_FULL",
+        external_choice(
+            prefix(send("reqSw"), prefix(rec("rptSw"), ref("ECU_FULL"))),
+            prefix(send("reqApp"), prefix(rec("rptUpd"), ref("ECU_FULL"))),
+        ),
+    )
+    sync = Alphabet.from_channels(send, rec)
+    env.bind("SESSION_SYSTEM", GenParallel(ref("VMG_FULL"), ref("ECU_FULL"), sync))
+    return SessionSystem(
+        env, send, rec, sync, ref("SESSION_SPEC"), ref("SESSION_SYSTEM")
+    )
+
+
+# -- the shared-key (R05) security analysis ----------------------------------------
+
+
+#: the two update modules in play: ``upd1`` is the module the VMG actually
+#: distributes; ``upd2`` exists in the wild but is never sent legitimately
+UPDATE_MODULES: Tuple[str, ...] = ("upd1", "upd2")
+
+#: nonces for the freshness-protected variant
+NONCES: Tuple[str, ...] = ("n1", "n2")
+
+#: the shared VMG<->ECU key of requirement R05
+SHARED_KEY = key("k_vmg_ecu")
+
+#: the token an intruder can always fabricate (no key needed)
+FORGED_TOKEN: Value = "forged"
+
+
+class SecuredSystem(NamedTuple):
+    """A protection level's model plus the events its properties speak about."""
+
+    env: Environment
+    protection: str
+    legit: Channel
+    fake: Channel
+    apply: Channel
+    attacked_system: Process
+    #: apply events that must never happen (unauthorised module)
+    forbidden_applies: Tuple[Event, ...]
+    #: (legitimate send event, apply event) pairs for agreement checks
+    agreement_pairs: Tuple[Tuple[Event, Event], ...]
+    alphabet: Alphabet
+
+
+def _payloads(protection: str) -> List[Value]:
+    """The finite payload universe for a protection level."""
+    if protection == "none":
+        return list(UPDATE_MODULES)
+    if protection == "mac":
+        payloads: List[Value] = []
+        for module in UPDATE_MODULES:
+            payloads.append((module, mac(SHARED_KEY, module)))
+            payloads.append((module, FORGED_TOKEN))
+        return payloads
+    if protection == "mac_nonce":
+        payloads = []
+        for module in UPDATE_MODULES:
+            for nonce_value in NONCES:
+                payloads.append(
+                    (module, nonce_value, mac(SHARED_KEY, (module, nonce_value)))
+                )
+                payloads.append((module, nonce_value, FORGED_TOKEN))
+        return payloads
+    raise ValueError(
+        "unknown protection {!r}; use 'none', 'mac' or 'mac_nonce'".format(protection)
+    )
+
+
+def _payload_is_valid(protection: str, payload: Value) -> bool:
+    if protection == "none":
+        return True
+    if protection == "mac":
+        module, token = payload
+        return token == mac(SHARED_KEY, module)
+    module, nonce_value, token = payload
+    return token == mac(SHARED_KEY, (module, nonce_value))
+
+
+def _payload_module(protection: str, payload: Value) -> str:
+    if protection == "none":
+        return payload
+    return payload[0]
+
+
+def _legit_payloads(protection: str) -> List[Value]:
+    """What the VMG actually transmits: module upd1 only, correctly tagged."""
+    if protection == "none":
+        return ["upd1"]
+    if protection == "mac":
+        return [("upd1", mac(SHARED_KEY, "upd1"))]
+    return [
+        ("upd1", nonce_value, mac(SHARED_KEY, ("upd1", nonce_value)))
+        for nonce_value in NONCES
+    ]
+
+
+def build_secured_system(
+    protection: str = "none", env: Optional[Environment] = None
+) -> SecuredSystem:
+    """The update-distribution model under a protection level, with intruder.
+
+    * ``none``      -- raw module names on the bus; the intruder can inject
+      the unauthorised module ``upd2`` (integrity attack found).
+    * ``mac``       -- shared-key MAC per R05; forgery is impossible but a
+      recorded message can be replayed (injective agreement fails).
+    * ``mac_nonce`` -- MAC over module+nonce with single-use nonces; both
+      integrity and injective agreement hold.
+    """
+    env = env or Environment()
+    payloads = _payloads(protection)
+    legit = Channel("legit", payloads)
+    fake = Channel("fake", payloads)
+    apply_channel = Channel("apply", list(UPDATE_MODULES))
+
+    # -- VMG: transmits its legitimate payload(s), one after another, then idles
+    sends = _legit_payloads(protection)
+    process: Process = ref("VMG_SEC_IDLE")
+    env.bind("VMG_SEC_IDLE", external_choice())  # STOP: session complete
+    for payload in reversed(sends):
+        process = Prefix(legit(payload), process)
+    env.bind("VMG_SEC", process)
+
+    # -- ECU: accepts from either channel, verifies, applies
+    def ecu_states() -> None:
+        if protection == "mac_nonce":
+            # track the set of already-used nonces
+            def state_name(used: Tuple[str, ...]) -> str:
+                return "ECU_SEC_" + ("_".join(used) if used else "FRESH")
+
+            all_subsets: List[Tuple[str, ...]] = [()]
+            for nonce_value in NONCES:
+                all_subsets += [
+                    subset + (nonce_value,)
+                    for subset in list(all_subsets)
+                ]
+            for used in all_subsets:
+                branches = []
+                for channel in (legit, fake):
+                    for payload in payloads:
+                        module, nonce_value, _token = payload
+                        if (
+                            _payload_is_valid(protection, payload)
+                            and nonce_value not in used
+                        ):
+                            next_state = state_name(
+                                tuple(sorted(set(used) | {nonce_value}))
+                            )
+                            branches.append(
+                                Prefix(
+                                    channel(payload),
+                                    Prefix(
+                                        apply_channel(module), ref(next_state)
+                                    ),
+                                )
+                            )
+                        else:
+                            branches.append(
+                                Prefix(channel(payload), ref(state_name(used)))
+                            )
+                env.bind(state_name(used), external_choice(*branches))
+            env.bind("ECU_SEC", ref(state_name(())))
+            return
+
+        branches = []
+        for channel in (legit, fake):
+            for payload in payloads:
+                if _payload_is_valid(protection, payload):
+                    module = _payload_module(protection, payload)
+                    branches.append(
+                        Prefix(
+                            channel(payload),
+                            Prefix(apply_channel(module), ref("ECU_SEC")),
+                        )
+                    )
+                else:
+                    branches.append(Prefix(channel(payload), ref("ECU_SEC")))
+        env.bind("ECU_SEC", external_choice(*branches))
+
+    ecu_states()
+
+    # -- honest system: VMG and ECU synchronise on the legitimate channel
+    honest = GenParallel(ref("VMG_SEC"), ref("ECU_SEC"), legit.alphabet())
+    env.bind("HONEST_SYSTEM", honest)
+
+    # -- the Dolev-Yao intruder overhears legit and injects fake
+    initial_knowledge: List[Value]
+    if protection == "none":
+        initial_knowledge = list(UPDATE_MODULES)  # formats are public
+    elif protection == "mac":
+        initial_knowledge = [
+            (module, FORGED_TOKEN) for module in UPDATE_MODULES
+        ]
+    else:
+        initial_knowledge = [
+            (module, nonce_value, FORGED_TOKEN)
+            for module in UPDATE_MODULES
+            for nonce_value in NONCES
+        ]
+    builder = IntruderBuilder(
+        listen_channels=[legit],
+        inject_channels=[fake],
+        universe=payloads,
+        initial_knowledge=initial_knowledge,
+    )
+    attacked = builder.compose_with(ref("HONEST_SYSTEM"), env)
+    env.bind("ATTACKED_SYSTEM", attacked)
+
+    forbidden = (apply_channel("upd2"),)
+    agreement = tuple(
+        (legit(payload), apply_channel(_payload_module(protection, payload)))
+        for payload in sends
+    )
+    alphabet = (
+        legit.alphabet() | fake.alphabet() | apply_channel.alphabet()
+    )
+    return SecuredSystem(
+        env,
+        protection,
+        legit,
+        fake,
+        apply_channel,
+        ref("ATTACKED_SYSTEM"),
+        forbidden,
+        agreement,
+        alphabet,
+    )

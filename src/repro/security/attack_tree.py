@@ -1,0 +1,269 @@
+"""Attack trees and their translation to CSP (paper Sec. IV-E).
+
+The paper recalls that "an individual attack tree can be translated into a
+semantically equivalent CSP process", the equivalence resting on
+series-parallel (SP) graph semantics:
+
+    (a)         = { <a> }
+    (G1 || G2)  = { s ∈ s1 ||| s2 }          -- parallel composition
+    (G1 . G2)   = { s1 ^ s2 }                -- sequential composition
+    ({G1..Gn})  = U (Gi)                     -- disjunction (OR)
+
+:class:`AttackTree` nodes implement exactly that recursive ``(·)`` function
+(:meth:`sequences`), and :meth:`to_process` builds the CSP process whose
+*completed* traces are precisely those action sequences -- the property the
+test-suite verifies, reproducing the paper's semantic-equivalence claim.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..csp.events import Alphabet, Event
+from ..csp.process import (
+    Environment,
+    Interleave,
+    Prefix,
+    Process,
+    SKIP,
+    SeqComp,
+    external_choice,
+)
+from ..csp.traces import Trace, interleave_traces
+
+
+class AttackTree:
+    """Base class of attack-tree nodes (an SP-graph)."""
+
+    def sequences(self) -> Set[Trace]:
+        """The paper's ``(·)`` semantics: all complete action sequences."""
+        raise NotImplementedError
+
+    def to_process(self) -> Process:
+        """The semantically equivalent CSP process (terminates per sequence)."""
+        raise NotImplementedError
+
+    def actions(self) -> FrozenSet[Event]:
+        """Every atomic action appearing in the tree."""
+        raise NotImplementedError
+
+    # -- combinator sugar ----------------------------------------------------------
+
+    def then(self, other: "AttackTree") -> "AttackTree":
+        return SeqNode(self, other)
+
+    def alongside(self, other: "AttackTree") -> "AttackTree":
+        return AndNode(self, other)
+
+    def otherwise(self, other: "AttackTree") -> "AttackTree":
+        return OrNode([self, other])
+
+
+class ActionNode(AttackTree):
+    """A leaf: one atomic attacker action, optionally with a cost.
+
+    Costs let analyses rank attacks (cheapest feasible attack first) --
+    the quantitative layer commonly added to attack trees.
+    """
+
+    def __init__(self, event: Event, cost: float = 1.0) -> None:
+        if not event.is_visible():
+            raise ValueError("attack actions must be visible events")
+        if cost < 0:
+            raise ValueError("attack cost must be non-negative")
+        self.event = event
+        self.cost = cost
+
+    def sequences(self) -> Set[Trace]:
+        return {(self.event,)}
+
+    def to_process(self) -> Process:
+        return Prefix(self.event, SKIP)
+
+    def actions(self) -> FrozenSet[Event]:
+        return frozenset([self.event])
+
+    def __repr__(self) -> str:
+        return "ActionNode({})".format(self.event)
+
+
+class SeqNode(AttackTree):
+    """Sequential refinement ``G1 . G2``: first complete G1, then G2."""
+
+    def __init__(self, first: AttackTree, second: AttackTree) -> None:
+        self.first = first
+        self.second = second
+
+    def sequences(self) -> Set[Trace]:
+        return {
+            s1 + s2
+            for s1 in self.first.sequences()
+            for s2 in self.second.sequences()
+        }
+
+    def to_process(self) -> Process:
+        return SeqComp(self.first.to_process(), self.second.to_process())
+
+    def actions(self) -> FrozenSet[Event]:
+        return self.first.actions() | self.second.actions()
+
+    def __repr__(self) -> str:
+        return "SeqNode({!r}, {!r})".format(self.first, self.second)
+
+
+class AndNode(AttackTree):
+    """Parallel (AND) composition ``G1 || G2``: both must complete, any order."""
+
+    def __init__(self, left: AttackTree, right: AttackTree) -> None:
+        self.left = left
+        self.right = right
+
+    def sequences(self) -> Set[Trace]:
+        merged: Set[Trace] = set()
+        left_sequences = self.left.sequences()
+        right_sequences = self.right.sequences()
+        for s1 in left_sequences:
+            for s2 in right_sequences:
+                target = len(s1) + len(s2)
+                for interleaving in interleave_traces(s1, s2):
+                    if len(interleaving) == target:
+                        merged.add(interleaving)
+        return merged
+
+    def to_process(self) -> Process:
+        return Interleave(self.left.to_process(), self.right.to_process())
+
+    def actions(self) -> FrozenSet[Event]:
+        return self.left.actions() | self.right.actions()
+
+    def __repr__(self) -> str:
+        return "AndNode({!r}, {!r})".format(self.left, self.right)
+
+
+class OrNode(AttackTree):
+    """Disjunction over alternative sub-attacks: ``{G1, ..., Gn}``."""
+
+    def __init__(self, alternatives: Sequence[AttackTree]) -> None:
+        if not alternatives:
+            raise ValueError("OR node needs at least one alternative")
+        self.alternatives = list(alternatives)
+
+    def sequences(self) -> Set[Trace]:
+        union: Set[Trace] = set()
+        for alternative in self.alternatives:
+            union |= alternative.sequences()
+        return union
+
+    def to_process(self) -> Process:
+        return external_choice(
+            *[alternative.to_process() for alternative in self.alternatives]
+        )
+
+    def actions(self) -> FrozenSet[Event]:
+        collected: FrozenSet[Event] = frozenset()
+        for alternative in self.alternatives:
+            collected |= alternative.actions()
+        return collected
+
+    def __repr__(self) -> str:
+        return "OrNode({!r})".format(self.alternatives)
+
+
+def action(event: Event, cost: float = 1.0) -> ActionNode:
+    return ActionNode(event, cost)
+
+
+def sequence_of(*trees: AttackTree) -> AttackTree:
+    """N-ary sequential composition."""
+    if not trees:
+        raise ValueError("sequence_of needs at least one subtree")
+    result = trees[0]
+    for tree in trees[1:]:
+        result = SeqNode(result, tree)
+    return result
+
+
+def any_of(*trees: AttackTree) -> AttackTree:
+    """N-ary OR."""
+    return OrNode(list(trees))
+
+
+def all_of(*trees: AttackTree) -> AttackTree:
+    """N-ary AND (parallel)."""
+    if not trees:
+        raise ValueError("all_of needs at least one subtree")
+    result = trees[0]
+    for tree in trees[1:]:
+        result = AndNode(result, tree)
+    return result
+
+
+def attack_cost(tree: AttackTree, sequence) -> float:
+    """Total cost of one attack sequence: the sum of its actions' leaf costs.
+
+    When several leaves share an event, the cheapest applies (an attacker
+    picks the cheapest way to realise an action).
+    """
+    costs = {}
+    stack = [tree]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ActionNode):
+            existing = costs.get(node.event)
+            if existing is None or node.cost < existing:
+                costs[node.event] = node.cost
+        elif isinstance(node, (SeqNode, AndNode)):
+            stack.append(node.first if isinstance(node, SeqNode) else node.left)
+            stack.append(node.second if isinstance(node, SeqNode) else node.right)
+        elif isinstance(node, OrNode):
+            stack.extend(node.alternatives)
+    total = 0.0
+    for event in sequence:
+        if event not in costs:
+            raise ValueError("event {} is not an action of this tree".format(event))
+        total += costs[event]
+    return total
+
+
+def cheapest_feasible_attack(
+    tree: AttackTree,
+    system: Process,
+    env: Optional[Environment] = None,
+    max_states: int = 200_000,
+):
+    """The minimum-cost attack sequence the system admits, or None.
+
+    Returns ``(sequence, cost)``; feasibility is decided exactly as in
+    :func:`feasible_attacks`.
+    """
+    feasible = feasible_attacks(tree, system, env, max_states)
+    if not feasible:
+        return None
+    ranked = sorted(
+        ((attack_cost(tree, sequence), sequence) for sequence in feasible),
+        key=lambda pair: (pair[0], len(pair[1]), str(pair[1])),
+    )
+    cost, sequence = ranked[0]
+    return sequence, cost
+
+
+def feasible_attacks(
+    tree: AttackTree,
+    system: Process,
+    env: Optional[Environment] = None,
+    max_states: int = 200_000,
+) -> List[Trace]:
+    """Which complete attack sequences can the system actually exhibit?
+
+    Walks each attack sequence through the system's LTS; a sequence the
+    system can perform end-to-end is a feasible attack (a counterexample to
+    the 'no attack' claim).  Returns the feasible sequences, shortest first.
+    """
+    from ..csp.lts import compile_lts
+
+    lts = compile_lts(system, env or Environment(), max_states)
+    feasible: List[Trace] = []
+    for attack_sequence in sorted(tree.sequences(), key=lambda s: (len(s), str(s))):
+        if lts.walk(list(attack_sequence)) is not None:
+            feasible.append(attack_sequence)
+    return feasible

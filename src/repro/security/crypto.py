@@ -1,0 +1,163 @@
+"""Symbolic (Dolev-Yao) cryptographic terms and intruder deduction.
+
+The paper's case study assumes shared-key Message Authentication Codes
+(Sec. V-A2, requirement R05).  In the CSP tradition of Ryan & Schneider's
+*Modelling and Analysis of Security Protocols* [30], cryptography is
+symbolic: a MAC is an opaque term an agent can only construct or verify when
+it holds the key.  Terms here are hashable tuples so they can ride as event
+field values on CSP channels.
+
+The :func:`deductive_closure` computes what a Dolev-Yao intruder can derive
+from a set of observed terms: splitting pairs, decrypting with known keys,
+and constructing new encryptions/MACs from known material.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Set, Tuple, Union
+
+Term = Union[str, int, Tuple]
+
+# term tags
+KEY = "key"
+NONCE = "nonce"
+MAC = "mac"
+ENC = "enc"
+PAIR = "pair"
+
+
+def key(name: str) -> Term:
+    """A symmetric key, e.g. ``key('k_vmg_ecu')``."""
+    return (KEY, name)
+
+
+def nonce(name: str) -> Term:
+    """A fresh random value."""
+    return (NONCE, name)
+
+
+def mac(the_key: Term, payload: Term) -> Term:
+    """A message authentication code over *payload* under *the_key*."""
+    _require_key(the_key, "mac")
+    return (MAC, the_key, payload)
+
+
+def enc(the_key: Term, payload: Term) -> Term:
+    """Symmetric encryption of *payload* under *the_key*."""
+    _require_key(the_key, "enc")
+    return (ENC, the_key, payload)
+
+
+def pair(left: Term, right: Term) -> Term:
+    """Concatenation of two terms."""
+    return (PAIR, left, right)
+
+
+def _require_key(term: Term, operation: str) -> None:
+    if not (isinstance(term, tuple) and len(term) == 2 and term[0] == KEY):
+        raise ValueError("{}() needs a key term, got {!r}".format(operation, term))
+
+
+def is_key(term: Term) -> bool:
+    return isinstance(term, tuple) and len(term) == 2 and term[0] == KEY
+
+
+def is_mac(term: Term) -> bool:
+    return isinstance(term, tuple) and len(term) == 3 and term[0] == MAC
+
+
+def is_enc(term: Term) -> bool:
+    return isinstance(term, tuple) and len(term) == 3 and term[0] == ENC
+
+
+def is_pair(term: Term) -> bool:
+    return isinstance(term, tuple) and len(term) == 3 and term[0] == PAIR
+
+
+def verify_mac(term: Term, the_key: Term, payload: Term) -> bool:
+    """MAC verification: structural equality under the shared key."""
+    return term == (MAC, the_key, payload)
+
+
+def subterms(term: Term) -> Set[Term]:
+    """Every syntactic subterm, including the term itself."""
+    collected: Set[Term] = {term}
+    if isinstance(term, tuple) and len(term) == 3 and term[0] in (MAC, ENC, PAIR):
+        collected |= subterms(term[1])
+        collected |= subterms(term[2])
+    return collected
+
+
+def deductive_closure(
+    knowledge: Iterable[Term],
+    constructible: Iterable[Term] = (),
+    max_iterations: int = 1000,
+) -> FrozenSet[Term]:
+    """The Dolev-Yao closure of *knowledge*.
+
+    Analysis rules (always applied):
+
+    * from ``pair(a, b)`` derive ``a`` and ``b``,
+    * from ``enc(k, m)`` and ``k`` derive ``m``.
+
+    Synthesis is bounded to the candidate set *constructible* (plus any pair/
+    enc/mac over it already listed) because unrestricted synthesis is
+    infinite; pass the message space of the protocol under analysis.
+    """
+    known: Set[Term] = set(knowledge)
+    candidates = set(constructible)
+    for _ in range(max_iterations):
+        added = False
+        # analysis
+        for term in list(known):
+            if is_pair(term):
+                for part in (term[1], term[2]):
+                    if part not in known:
+                        known.add(part)
+                        added = True
+            elif is_enc(term) and term[1] in known and term[2] not in known:
+                known.add(term[2])
+                added = True
+        # bounded synthesis
+        for term in candidates:
+            if term in known:
+                continue
+            if _synthesisable(term, known):
+                known.add(term)
+                added = True
+        if not added:
+            return frozenset(known)
+    raise RuntimeError("deductive closure did not stabilise")
+
+
+def _synthesisable(term: Term, known: Set[Term]) -> bool:
+    if term in known:
+        return True
+    if is_pair(term):
+        return _synthesisable(term[1], known) and _synthesisable(term[2], known)
+    if is_mac(term) or is_enc(term):
+        return term[1] in known and _synthesisable(term[2], known)
+    return False
+
+
+def can_forge(term: Term, knowledge: Iterable[Term]) -> bool:
+    """Can an intruder with *knowledge* produce *term*?"""
+    closure = deductive_closure(knowledge, constructible=[term])
+    return term in closure
+
+
+def render_term(term: Term) -> str:
+    """Human-readable rendering: ``mac(k, reqApp)`` etc."""
+    if isinstance(term, tuple) and len(term) >= 2:
+        tag = term[0]
+        if tag == KEY:
+            return "key({})".format(term[1])
+        if tag == NONCE:
+            return "nonce({})".format(term[1])
+        if tag == MAC:
+            return "mac({}, {})".format(render_term(term[1]), render_term(term[2]))
+        if tag == ENC:
+            return "enc({}, {})".format(render_term(term[1]), render_term(term[2]))
+        if tag == PAIR:
+            return "({}, {})".format(render_term(term[1]), render_term(term[2]))
+    return str(term)

@@ -1,0 +1,171 @@
+"""Dolev-Yao intruder processes (paper Sec. IV-E).
+
+"With CSP, a common approach is to define an additional intruder process in
+CSP, based on the Dolev-Yao model ... defining what the intruder knows and
+can learn, and capabilities in terms of manipulating messages transmitted
+over the network.  This intruder (attacker) model is then added, in parallel,
+to existing process models" [30].
+
+:class:`IntruderBuilder` generates exactly that: a family of processes
+``INTRUDER_<K>`` indexed by the (finite) knowledge set *K*, where the
+intruder can
+
+* **overhear** every event on the listened channels (learning the payload),
+* **inject** any payload in its current knowledge on the injection channels.
+
+Because the message space is finite, the knowledge lattice is finite and the
+generated process family is finite-state -- checkable by the refinement
+engine.  Composing ``SYSTEM [|listen ∪ inject|] INTRUDER`` (listen events
+synchronise three-way, injected events masquerade as ordinary traffic) gives
+the worst-case attacker of the paper's threat model.
+"""
+
+from __future__ import annotations
+
+from itertools import chain
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from ..csp.events import Alphabet, Channel, Event, Value
+from ..csp.process import (
+    Environment,
+    GenParallel,
+    Prefix,
+    Process,
+    ProcessRef,
+    external_choice,
+)
+from .crypto import Term, deductive_closure
+
+
+def _knowledge_name(prefix: str, knowledge: FrozenSet[Value]) -> str:
+    if not knowledge:
+        return "{}_EMPTY".format(prefix)
+    parts = sorted(str(item) for item in knowledge)
+    cleaned = "_".join("".join(ch for ch in part if ch.isalnum()) for part in parts)
+    return "{}_{}".format(prefix, cleaned)
+
+
+class IntruderBuilder:
+    """Build the knowledge-indexed intruder process family."""
+
+    def __init__(
+        self,
+        listen_channels: Sequence[Channel],
+        inject_channels: Sequence[Channel],
+        universe: Sequence[Value],
+        initial_knowledge: Iterable[Value] = (),
+        deduce: bool = False,
+        name_prefix: str = "INTRUDER",
+    ) -> None:
+        """*universe* is the finite payload space (a channel's field domain).
+
+        With ``deduce=True`` payload values are treated as symbolic crypto
+        terms and each learning step closes the knowledge set under
+        Dolev-Yao deduction (bounded to *universe*).
+        """
+        if not listen_channels and not inject_channels:
+            raise ValueError("intruder needs at least one channel")
+        for channel in chain(listen_channels, inject_channels):
+            if channel.arity != 1:
+                raise ValueError(
+                    "intruder channels must carry exactly one payload field; "
+                    "{!r} carries {}".format(channel.name, channel.arity)
+                )
+        self.listen_channels = list(listen_channels)
+        self.inject_channels = list(inject_channels)
+        self.universe = list(universe)
+        self.initial_knowledge = frozenset(initial_knowledge)
+        self.deduce = deduce
+        self.name_prefix = name_prefix
+
+    # -- knowledge lattice -------------------------------------------------------
+
+    def _close(self, knowledge: FrozenSet[Value]) -> FrozenSet[Value]:
+        if not self.deduce:
+            return knowledge
+        closure = deductive_closure(knowledge, constructible=self.universe)
+        return frozenset(v for v in closure if v in set(self.universe) or v in knowledge)
+
+    def _learn(self, knowledge: FrozenSet[Value], payload: Value) -> FrozenSet[Value]:
+        return self._close(knowledge | {payload})
+
+    # -- construction ----------------------------------------------------------------
+
+    def build(self, env: Environment) -> ProcessRef:
+        """Bind the whole process family into *env*; returns the initial process."""
+        initial = self._close(self.initial_knowledge)
+        pending: List[FrozenSet[Value]] = [initial]
+        done: Dict[FrozenSet[Value], str] = {}
+        while pending:
+            knowledge = pending.pop()
+            if knowledge in done:
+                continue
+            name = _knowledge_name(self.name_prefix, knowledge)
+            done[knowledge] = name
+            branches: List[Process] = []
+            successors: List[FrozenSet[Value]] = []
+            for channel in self.listen_channels:
+                for payload in self.universe:
+                    learned = self._learn(knowledge, payload)
+                    successors.append(learned)
+                    branches.append(
+                        Prefix(
+                            channel(payload),
+                            ProcessRef(_knowledge_name(self.name_prefix, learned)),
+                        )
+                    )
+            for channel in self.inject_channels:
+                for payload in sorted(knowledge, key=str):
+                    if payload not in channel.field_domains[0]:
+                        continue
+                    branches.append(
+                        Prefix(
+                            channel(payload),
+                            ProcessRef(name),
+                        )
+                    )
+            env.bind(name, external_choice(*branches))
+            for successor in successors:
+                if successor not in done:
+                    pending.append(successor)
+        return ProcessRef(_knowledge_name(self.name_prefix, initial))
+
+    def compose_with(
+        self,
+        system: Process,
+        env: Environment,
+        extra_sync: Optional[Alphabet] = None,
+    ) -> Process:
+        """``SYSTEM [| listen ∪ inject |] INTRUDER`` -- the attacked system."""
+        intruder = self.build(env)
+        sync = Alphabet.from_channels(*self.listen_channels) | Alphabet.from_channels(
+            *self.inject_channels
+        )
+        if extra_sync is not None:
+            sync = sync | extra_sync
+        return GenParallel(system, intruder, sync)
+
+
+def replay_attacker(
+    channel: Channel,
+    payloads: Sequence[Value],
+    env: Environment,
+    name: str = "REPLAY",
+) -> ProcessRef:
+    """A simple fixed-script injector: sends the payloads in order, then stops.
+
+    The blunt end of the threat spectrum -- what a cheap CAN injection tool
+    does -- and a useful baseline against the full Dolev-Yao intruder.
+    """
+    process: Process = ProcessRef(name + "_DONE")
+    env.bind(name + "_DONE", external_choice())  # STOP
+    for payload in reversed(list(payloads)):
+        process = Prefix(channel(payload), process)
+    env.bind(name, process)
+    return ProcessRef(name)
+
+
+def knowledge_lattice_size(universe_size: int) -> int:
+    """How many knowledge sets a full lattice would have (2^n) -- used by the
+    scalability benchmark to pick tractable universes."""
+    return 2 ** universe_size

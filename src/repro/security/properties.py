@@ -1,0 +1,170 @@
+"""Security-property specification templates.
+
+The paper (Sec. IV-A1) notes CSP's proven methods "for verifying various
+security properties, such as availability (liveness), authentication,
+confidentiality, and anonymity".  These builders produce the abstract CSP
+specification processes for the property classes our case study needs; each
+returns a :class:`ProcessRef` after binding the needed equations into the
+environment, so they compose with extracted implementation models.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from ..csp.events import Alphabet, Event
+from ..csp.process import (
+    Environment,
+    ExternalChoice,
+    Prefix,
+    Process,
+    ProcessRef,
+    external_choice,
+)
+
+_counter = [0]
+
+
+def _fresh(prefix: str) -> str:
+    _counter[0] += 1
+    return "{}_{}".format(prefix, _counter[0])
+
+
+def run_process(alphabet: Alphabet, env: Environment, name: Optional[str] = None) -> ProcessRef:
+    """``RUN(A)``: forever willing to perform any event of *A*.
+
+    The workhorse of safety specifications: anything built from RUN over a
+    restricted alphabet says "only these events may ever happen".
+    """
+    label = name or _fresh("RUN")
+    branches = [Prefix(event, ProcessRef(label)) for event in alphabet]
+    env.bind(label, external_choice(*branches))
+    return ProcessRef(label)
+
+
+def chaos(alphabet: Alphabet, env: Environment, name: Optional[str] = None) -> ProcessRef:
+    """``CHAOS(A)``: may perform or refuse anything in *A*, or deadlock.
+
+    The most nondeterministic divergence-free process over the alphabet --
+    the standard stand-in for an unconstrained environment or attacker.
+    Every divergence-free process over *A* failures-refines CHAOS(A).
+    """
+    from ..csp.process import InternalChoice, STOP, internal_choice
+
+    label = name or _fresh("CHAOS")
+    branches = [Prefix(event, ProcessRef(label)) for event in alphabet]
+    if branches:
+        env.bind(label, InternalChoice(STOP, internal_choice(*branches)))
+    else:
+        env.bind(label, STOP)
+    return ProcessRef(label)
+
+
+def request_response(
+    request: Event,
+    response: Event,
+    env: Environment,
+    name: Optional[str] = None,
+) -> ProcessRef:
+    """The paper's SP02 shape: every *request* is answered by *response*.
+
+    ``SP = request -> response -> SP`` -- the integrity property of Sec. V-B.
+    """
+    label = name or _fresh("REQRESP")
+    env.bind(label, Prefix(request, Prefix(response, ProcessRef(label))))
+    return ProcessRef(label)
+
+
+def never_occurs(
+    forbidden: Iterable[Event],
+    alphabet: Alphabet,
+    env: Environment,
+    name: Optional[str] = None,
+) -> ProcessRef:
+    """Confidentiality/safety: the *forbidden* events never happen.
+
+    The specification is simply ``RUN(alphabet - forbidden)``; any
+    implementation trace containing a forbidden event is a counterexample.
+    """
+    label = name or _fresh("NEVER")
+    allowed = alphabet - Alphabet(forbidden)
+    return run_process(allowed, env, label)
+
+
+def precedes(
+    first: Event,
+    then: Event,
+    alphabet: Alphabet,
+    env: Environment,
+    name: Optional[str] = None,
+) -> ProcessRef:
+    """Authentication-style precedence: *then* may only occur after *first*.
+
+    This is the trace form of non-injective agreement: the 'commit' event
+    (e.g. the ECU applying an update) is preceded by the 'running' event
+    (e.g. the VMG actually requesting it).  Before *first* happens the
+    specification refuses *then*; afterwards anything goes.
+    """
+    label = name or _fresh("PREC")
+    after_label = label + "_AFTER"
+    run_process(alphabet, env, after_label)
+    restricted = (alphabet - Alphabet.of(then)) - Alphabet.of(first)
+    branches = [Prefix(event, ProcessRef(label)) for event in restricted]
+    branches.append(Prefix(first, ProcessRef(after_label)))
+    env.bind(label, external_choice(*branches))
+    return ProcessRef(label)
+
+
+def alternates(
+    first: Event,
+    second: Event,
+    alphabet: Alphabet,
+    env: Environment,
+    name: Optional[str] = None,
+) -> ProcessRef:
+    """Strict alternation of *first* and *second*; other events free.
+
+    A stronger integrity property than :func:`request_response` when other
+    traffic shares the channels (the 'more sophisticated models' the paper
+    sketches, where other messages arrive on a different channel).
+    """
+    label = name or _fresh("ALT")
+    waiting_second = label + "_W2"
+    others = (alphabet - Alphabet.of(first)) - Alphabet.of(second)
+    first_branches = [Prefix(event, ProcessRef(label)) for event in others]
+    first_branches.append(Prefix(first, ProcessRef(waiting_second)))
+    env.bind(label, external_choice(*first_branches))
+    second_branches = [Prefix(event, ProcessRef(waiting_second)) for event in others]
+    second_branches.append(Prefix(second, ProcessRef(label)))
+    env.bind(waiting_second, external_choice(*second_branches))
+    return ProcessRef(label)
+
+
+def bounded_outstanding(
+    request: Event,
+    response: Event,
+    limit: int,
+    env: Environment,
+    name: Optional[str] = None,
+) -> ProcessRef:
+    """At most *limit* requests may be outstanding (flood/DoS resistance).
+
+    Builds the counter family ``SPEC_0 .. SPEC_limit``; a further request at
+    the limit is a violation.
+    """
+    if limit < 1:
+        raise ValueError("limit must be at least 1")
+    label = name or _fresh("BOUND")
+
+    def state(count: int) -> str:
+        return "{}_{}".format(label, count)
+
+    for count in range(limit + 1):
+        branches = []
+        if count < limit:
+            branches.append(Prefix(request, ProcessRef(state(count + 1))))
+        if count > 0:
+            branches.append(Prefix(response, ProcessRef(state(count - 1))))
+        env.bind(state(count), external_choice(*branches))
+    env.bind(label, ProcessRef(state(0)))
+    return ProcessRef(label)

@@ -1,0 +1,21 @@
+"""Model-based test generation and conformance execution.
+
+The complement of refinement checking in the paper's 'systematic security
+testing' programme: derive transition-covering test suites from CSP
+specification models and execute them against CAPL implementations on the
+simulated bus.
+"""
+
+from .generator import bounded_traces, coverage_of, state_cover, transition_cover
+from .conformance import ConformanceReport, TestVerdict, run_suite, run_test
+
+__all__ = [
+    "ConformanceReport",
+    "TestVerdict",
+    "bounded_traces",
+    "coverage_of",
+    "run_suite",
+    "run_test",
+    "state_cover",
+    "transition_cover",
+]

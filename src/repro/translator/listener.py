@@ -1,0 +1,165 @@
+"""ANTLR-style listener walk over the CAPL AST.
+
+ANTLR generates "an empty program containing skeletal methods, each
+corresponding to nodes of an Abstract Syntax Tree" (paper Sec. IV-C); users
+override the methods they care about.  :class:`CaplListener` is that skeletal
+program for our CAPL AST, and :func:`walk` performs the depth-first
+enter/exit traversal.  The model extractor is a listener subclass -- exactly
+the architecture of the paper's prototype.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..capl import ast_nodes as ast
+
+
+class CaplListener:
+    """Skeletal listener: override only the callbacks you need."""
+
+    # -- program structure ----------------------------------------------------
+
+    def enter_program(self, node: ast.Program) -> None: ...
+    def exit_program(self, node: ast.Program) -> None: ...
+    def enter_include(self, node: ast.IncludeDirective) -> None: ...
+    def enter_variable(self, node: ast.VarDecl) -> None: ...
+    def enter_function(self, node: ast.FunctionDef) -> None: ...
+    def exit_function(self, node: ast.FunctionDef) -> None: ...
+    def enter_event_procedure(self, node: ast.EventProcedure) -> None: ...
+    def exit_event_procedure(self, node: ast.EventProcedure) -> None: ...
+
+    # -- statements --------------------------------------------------------------
+
+    def enter_block(self, node: ast.Block) -> None: ...
+    def exit_block(self, node: ast.Block) -> None: ...
+    def enter_if(self, node: ast.IfStmt) -> None: ...
+    def exit_if(self, node: ast.IfStmt) -> None: ...
+    def enter_while(self, node: ast.WhileStmt) -> None: ...
+    def exit_while(self, node: ast.WhileStmt) -> None: ...
+    def enter_do_while(self, node: ast.DoWhileStmt) -> None: ...
+    def exit_do_while(self, node: ast.DoWhileStmt) -> None: ...
+    def enter_for(self, node: ast.ForStmt) -> None: ...
+    def exit_for(self, node: ast.ForStmt) -> None: ...
+    def enter_switch(self, node: ast.SwitchStmt) -> None: ...
+    def exit_switch(self, node: ast.SwitchStmt) -> None: ...
+    def enter_return(self, node: ast.ReturnStmt) -> None: ...
+    def enter_expr_stmt(self, node: ast.ExprStmt) -> None: ...
+
+    # -- expressions --------------------------------------------------------------
+
+    def enter_call(self, node: ast.CallExpr) -> None: ...
+    def enter_assign(self, node: ast.AssignExpr) -> None: ...
+    def enter_identifier(self, node: ast.Identifier) -> None: ...
+
+
+def walk(listener: CaplListener, node: object) -> None:
+    """Depth-first traversal firing the listener's enter/exit callbacks."""
+    if isinstance(node, ast.Program):
+        listener.enter_program(node)
+        for include in node.includes:
+            listener.enter_include(include)
+        for variable in node.variables:
+            listener.enter_variable(variable)
+            _walk_optional(listener, variable.initializer)
+        for function in node.functions:
+            listener.enter_function(function)
+            walk(listener, function.body)
+            listener.exit_function(function)
+        for procedure in node.event_procedures:
+            listener.enter_event_procedure(procedure)
+            walk(listener, procedure.body)
+            listener.exit_event_procedure(procedure)
+        listener.exit_program(node)
+    elif isinstance(node, ast.Block):
+        listener.enter_block(node)
+        for statement in node.statements:
+            walk(listener, statement)
+        listener.exit_block(node)
+    elif isinstance(node, ast.VarDecl):
+        listener.enter_variable(node)
+        _walk_optional(listener, node.initializer)
+    elif isinstance(node, ast.ExprStmt):
+        listener.enter_expr_stmt(node)
+        walk(listener, node.expr)
+    elif isinstance(node, ast.IfStmt):
+        listener.enter_if(node)
+        walk(listener, node.condition)
+        walk(listener, node.then_branch)
+        _walk_optional(listener, node.else_branch)
+        listener.exit_if(node)
+    elif isinstance(node, ast.WhileStmt):
+        listener.enter_while(node)
+        walk(listener, node.condition)
+        walk(listener, node.body)
+        listener.exit_while(node)
+    elif isinstance(node, ast.DoWhileStmt):
+        listener.enter_do_while(node)
+        walk(listener, node.body)
+        walk(listener, node.condition)
+        listener.exit_do_while(node)
+    elif isinstance(node, ast.ForStmt):
+        listener.enter_for(node)
+        _walk_optional(listener, node.init)
+        _walk_optional(listener, node.condition)
+        _walk_optional(listener, node.update)
+        walk(listener, node.body)
+        listener.exit_for(node)
+    elif isinstance(node, ast.SwitchStmt):
+        listener.enter_switch(node)
+        walk(listener, node.subject)
+        for case in node.cases:
+            _walk_optional(listener, case.value)
+            for statement in case.statements:
+                walk(listener, statement)
+        listener.exit_switch(node)
+    elif isinstance(node, ast.ReturnStmt):
+        listener.enter_return(node)
+        _walk_optional(listener, node.value)
+    elif isinstance(node, (ast.BreakStmt, ast.ContinueStmt)):
+        pass
+    elif isinstance(node, ast.CallExpr):
+        listener.enter_call(node)
+        walk(listener, node.function)
+        for argument in node.args:
+            walk(listener, argument)
+    elif isinstance(node, ast.AssignExpr):
+        listener.enter_assign(node)
+        walk(listener, node.target)
+        walk(listener, node.value)
+    elif isinstance(node, ast.BinaryExpr):
+        walk(listener, node.left)
+        walk(listener, node.right)
+    elif isinstance(node, (ast.UnaryExpr, ast.PostfixExpr)):
+        walk(listener, node.operand)
+    elif isinstance(node, ast.ConditionalExpr):
+        walk(listener, node.condition)
+        walk(listener, node.then_value)
+        walk(listener, node.else_value)
+    elif isinstance(node, ast.MemberAccess):
+        walk(listener, node.obj)
+    elif isinstance(node, ast.IndexExpr):
+        walk(listener, node.obj)
+        walk(listener, node.index)
+    elif isinstance(node, ast.Identifier):
+        listener.enter_identifier(node)
+    elif isinstance(
+        node,
+        (
+            ast.IntLiteral,
+            ast.FloatLiteral,
+            ast.StringLiteral,
+            ast.CharLiteral,
+            ast.ThisExpr,
+        ),
+    ):
+        pass
+    elif node is None:
+        pass
+    else:
+        raise TypeError("walk: unknown node {!r}".format(type(node).__name__))
+
+
+def _walk_optional(listener: CaplListener, node: Optional[object]) -> None:
+    if node is not None:
+        walk(listener, node)

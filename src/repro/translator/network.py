@@ -1,0 +1,255 @@
+"""Network composition: several extracted node models into one system model.
+
+The paper's Fig. 1 shows the extracted ECU component model being "combined
+with other CSP models to compose an overall system model".  The
+:class:`NetworkBuilder` does this: it extracts every node's CAPL source with
+a *shared* message universe and complementary channel conventions, then
+emits a single script defining each node plus
+
+    SYSTEM = Node1 [| {| send, rec |} |] Node2 [| ... |] ...
+
+together with any requested ``assert`` statements, ready for the refinement
+checker.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..cspm.evaluator import CspmModel, load as load_cspm
+from .extractor import ExtractionResult, ExtractorConfig, ModelExtractor
+from .rules import ChannelConvention
+from .templates import CSPM_TEMPLATES, TemplateGroup
+
+
+class NodeSource:
+    """One node to compose: its CAPL source and its channel orientation."""
+
+    def __init__(
+        self,
+        name: str,
+        source: str,
+        convention: Optional[ChannelConvention] = None,
+    ) -> None:
+        self.name = name
+        self.source = source
+        self.convention = convention
+
+
+class ComposedSystem:
+    """The composed script plus metadata of each member node."""
+
+    def __init__(
+        self,
+        script_text: str,
+        system_name: str,
+        results: Sequence[ExtractionResult],
+    ) -> None:
+        self.script_text = script_text
+        self.system_name = system_name
+        self.results = list(results)
+
+    def load(self) -> CspmModel:
+        return load_cspm(self.script_text)
+
+    def write(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.script_text)
+
+
+class NetworkBuilder:
+    """Extract-and-compose pipeline over multiple CAPL node programs."""
+
+    def __init__(
+        self,
+        datatype_name: str = "msgs",
+        include_timers: bool = True,
+        templates: TemplateGroup = CSPM_TEMPLATES,
+    ) -> None:
+        self.datatype_name = datatype_name
+        self.include_timers = include_timers
+        self.templates = templates
+        self._nodes: List[NodeSource] = []
+        self._spec_definitions: List[Tuple[str, str]] = []
+        self._assertions: List[str] = []
+
+    # -- inputs ------------------------------------------------------------------
+
+    def add_node(
+        self,
+        name: str,
+        source: str,
+        convention: Optional[ChannelConvention] = None,
+    ) -> "NetworkBuilder":
+        self._nodes.append(NodeSource(name, source, convention))
+        return self
+
+    def add_specification(self, name: str, body: str) -> "NetworkBuilder":
+        """Add a hand-written specification process (e.g. the paper's SP02)."""
+        self._spec_definitions.append((name, body))
+        return self
+
+    def add_assertion(self, text: str) -> "NetworkBuilder":
+        """Add a raw ``assert`` line, e.g. ``assert SP02 [T= SYSTEM``."""
+        self._assertions.append(text)
+        return self
+
+    def assert_trace_refinement(self, spec: str, impl: str) -> "NetworkBuilder":
+        return self.add_assertion(
+            self.templates.render(
+                "assert_refinement", spec=spec, impl=impl, model="T"
+            )
+        )
+
+    # -- composition --------------------------------------------------------------
+
+    def compose(self, system_name: str = "SYSTEM") -> ComposedSystem:
+        if not self._nodes:
+            raise ValueError("no nodes added to the network")
+        results = self._extract_all()
+        script = self._render(system_name, results)
+        return ComposedSystem(script, system_name, results)
+
+    def _extract_all(self) -> List[ExtractionResult]:
+        # first pass: discover every node's message universe
+        universes: List[Tuple[str, ...]] = []
+        default_convention = ChannelConvention()
+        for index, node in enumerate(self._nodes):
+            convention = node.convention or (
+                default_convention if index == 0 else default_convention.swapped()
+            )
+            probe = ModelExtractor(
+                ExtractorConfig(
+                    convention=convention,
+                    datatype_name=self.datatype_name,
+                    include_timers=self.include_timers,
+                )
+            ).extract(node.source, node.name)
+            universes.append(probe.messages)
+        shared: List[str] = []
+        for universe in universes:
+            for message in universe:
+                if message not in shared:
+                    shared.append(message)
+        # second pass: re-extract against the shared universe
+        results: List[ExtractionResult] = []
+        for index, node in enumerate(self._nodes):
+            convention = node.convention or (
+                default_convention if index == 0 else default_convention.swapped()
+            )
+            extractor = ModelExtractor(
+                ExtractorConfig(
+                    convention=convention,
+                    datatype_name=self.datatype_name,
+                    include_timers=self.include_timers,
+                    extra_messages=shared,
+                )
+            )
+            results.append(extractor.extract(node.source, node.name))
+        return results
+
+    def _render(self, system_name: str, results: List[ExtractionResult]) -> str:
+        lines: List[str] = []
+        lines.append(
+            self.templates.render(
+                "header",
+                title="composed system model: "
+                + " || ".join(result.node_name for result in results),
+            )
+        )
+        # shared declarations
+        messages = list(results[0].messages)
+        lines.append(
+            self.templates.render(
+                "datatype", name=self.datatype_name, constructors=messages
+            )
+        )
+        timers: List[str] = []
+        for result in results:
+            for timer in result.timers:
+                if timer not in timers:
+                    timers.append(timer)
+        if timers and self.include_timers:
+            lines.append(
+                self.templates.render(
+                    "datatype", name="timerIds", constructors=timers
+                )
+            )
+        lines.append("")
+        data_channels: List[str] = []
+        for result in results:
+            for channel in (
+                result.convention.in_channel,
+                result.convention.out_channel,
+            ):
+                if channel not in data_channels:
+                    data_channels.append(channel)
+        lines.append(
+            self.templates.render(
+                "channel", names=data_channels, type=self.datatype_name
+            )
+        )
+        if timers and self.include_timers:
+            convention = results[0].convention
+            lines.append(
+                self.templates.render(
+                    "channel",
+                    names=[
+                        convention.timer_channel,
+                        convention.set_timer_channel,
+                        convention.cancel_timer_channel,
+                    ],
+                    type="timerIds",
+                )
+            )
+        lines.append("")
+        for result in results:
+            lines.append(
+                self.templates.render(
+                    "comment", text="node {}".format(result.node_name)
+                )
+            )
+            for name, body in result.definitions:
+                lines.append(
+                    self.templates.render("process_def", name=name, body=body)
+                )
+            lines.append("")
+        # the system: synchronise every composition on the data channels
+        sync = self.templates.render("enum_set", members=data_channels)
+        system_body = results[0].process_name
+        for result in results[1:]:
+            system_body = self.templates.render(
+                "parallel", left=system_body, sync=sync, right=result.process_name
+            )
+        for name, body in self._spec_definitions:
+            lines.append(self.templates.render("process_def", name=name, body=body))
+        lines.append(
+            self.templates.render(
+                "process_def", name=system_name, body=system_body
+            )
+        )
+        if timers and self.include_timers:
+            # a view of the system with timer events abstracted away, so
+            # message-sequence properties like SP02 can be checked directly
+            convention = results[0].convention
+            timer_set = self.templates.render(
+                "enum_set",
+                members=[
+                    convention.timer_channel,
+                    convention.set_timer_channel,
+                    convention.cancel_timer_channel,
+                ],
+            )
+            lines.append(
+                self.templates.render(
+                    "process_def",
+                    name="{}_DATA".format(system_name),
+                    body=self.templates.render(
+                        "hide", process=system_name, set=timer_set
+                    ),
+                )
+            )
+        if self._assertions:
+            lines.append("")
+            lines.extend(self._assertions)
+        return "\n".join(lines).rstrip() + "\n"

@@ -1,0 +1,516 @@
+"""Translation rules: CAPL behaviour down to CSPm process structure.
+
+The heart of the model extractor.  Each CAPL event procedure is summarised
+into an abstract *behaviour tree* of communication actions:
+
+* ``output(msg)``            -> an Output action (a transmit event),
+* ``setTimer``/``cancelTimer`` -> timer actions (visible ``tock``-style
+  events, the paper's Sec. VII-B extension),
+* ``if``/``switch``          -> Choice (the data condition is abstracted, a
+  sound over-approximation in the trace model),
+* loops                      -> Loop (zero or more iterations, rendered as an
+  auxiliary recursive process),
+* calls to user functions    -> inlined (with a recursion guard).
+
+A behaviour tree then renders, through the CSPm templates, into one
+recursive process per event procedure plus a main-loop process offering the
+external choice of all handlers -- the shape of the paper's Fig. 3.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from ..capl import ast_nodes as ast
+from .templates import CSPM_TEMPLATES, TemplateGroup
+
+
+class TranslationError(ValueError):
+    """CAPL constructs the extractor cannot soundly translate."""
+
+
+# -- behaviour trees ---------------------------------------------------------------
+
+
+class Action:
+    """Base class of abstract communication actions."""
+
+
+class Output(Action):
+    """``output(msg)`` -- transmit a message."""
+
+    def __init__(self, message: str) -> None:
+        self.message = message
+
+    def __repr__(self) -> str:
+        return "Output({!r})".format(self.message)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Output) and other.message == self.message
+
+    def __hash__(self) -> int:
+        return hash(("Output", self.message))
+
+
+class SetTimer(Action):
+    def __init__(self, timer: str) -> None:
+        self.timer = timer
+
+    def __repr__(self) -> str:
+        return "SetTimer({!r})".format(self.timer)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, SetTimer) and other.timer == self.timer
+
+    def __hash__(self) -> int:
+        return hash(("SetTimer", self.timer))
+
+
+class CancelTimer(Action):
+    def __init__(self, timer: str) -> None:
+        self.timer = timer
+
+    def __repr__(self) -> str:
+        return "CancelTimer({!r})".format(self.timer)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, CancelTimer) and other.timer == self.timer
+
+    def __hash__(self) -> int:
+        return hash(("CancelTimer", self.timer))
+
+
+class Behaviour:
+    """Base class of behaviour-tree nodes."""
+
+    def is_empty(self) -> bool:
+        return False
+
+    def actions(self) -> List[Action]:
+        """Every action appearing anywhere in the tree."""
+        return []
+
+
+class Empty(Behaviour):
+    def is_empty(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return "Empty"
+
+
+class Act(Behaviour):
+    def __init__(self, action: Action) -> None:
+        self.action = action
+
+    def actions(self) -> List[Action]:
+        return [self.action]
+
+    def __repr__(self) -> str:
+        return "Act({!r})".format(self.action)
+
+
+class Seq(Behaviour):
+    def __init__(self, items: Sequence[Behaviour]) -> None:
+        flattened: List[Behaviour] = []
+        for item in items:
+            if item.is_empty():
+                continue
+            if isinstance(item, Seq):
+                flattened.extend(item.items)
+            else:
+                flattened.append(item)
+        self.items = flattened
+
+    def is_empty(self) -> bool:
+        return not self.items
+
+    def actions(self) -> List[Action]:
+        collected: List[Action] = []
+        for item in self.items:
+            collected.extend(item.actions())
+        return collected
+
+    def __repr__(self) -> str:
+        return "Seq({!r})".format(self.items)
+
+
+class Choice(Behaviour):
+    def __init__(self, branches: Sequence[Behaviour]) -> None:
+        self.branches = list(branches)
+
+    def is_empty(self) -> bool:
+        return all(branch.is_empty() for branch in self.branches)
+
+    def actions(self) -> List[Action]:
+        collected: List[Action] = []
+        for branch in self.branches:
+            collected.extend(branch.actions())
+        return collected
+
+    def __repr__(self) -> str:
+        return "Choice({!r})".format(self.branches)
+
+
+class Loop(Behaviour):
+    def __init__(self, body: Behaviour) -> None:
+        self.body = body
+
+    def is_empty(self) -> bool:
+        return self.body.is_empty()
+
+    def actions(self) -> List[Action]:
+        return self.body.actions()
+
+    def __repr__(self) -> str:
+        return "Loop({!r})".format(self.body)
+
+
+def may_be_silent(behaviour: Behaviour) -> bool:
+    """True if some execution path through the behaviour performs no action."""
+    if isinstance(behaviour, Empty):
+        return True
+    if isinstance(behaviour, Act):
+        return False
+    if isinstance(behaviour, Seq):
+        return all(may_be_silent(item) for item in behaviour.items)
+    if isinstance(behaviour, Choice):
+        return any(may_be_silent(branch) for branch in behaviour.branches)
+    if isinstance(behaviour, Loop):
+        return True  # zero iterations
+    raise TranslationError("unknown behaviour node {!r}".format(type(behaviour).__name__))
+
+
+def must_act_variant(behaviour: Behaviour) -> Optional[Behaviour]:
+    """The sub-behaviour containing exactly the paths with >= 1 action.
+
+    Used when rendering loops: a loop iteration that performs no event would
+    produce unguarded recursion (``LOOP = LOOP [] ...``) in the generated
+    CSPm, so loop bodies recurse only through their acting paths -- silent
+    iterations are no-ops already covered by the loop's exit branch.
+    Returns None when every path is silent.
+    """
+    if isinstance(behaviour, Empty):
+        return None
+    if isinstance(behaviour, Act):
+        return behaviour
+    if isinstance(behaviour, Choice):
+        kept = [must_act_variant(branch) for branch in behaviour.branches]
+        kept = [branch for branch in kept if branch is not None]
+        if not kept:
+            return None
+        if len(kept) == 1:
+            return kept[0]
+        return Choice(kept)
+    if isinstance(behaviour, Loop):
+        body = must_act_variant(behaviour.body)
+        if body is None:
+            return None
+        # at least one acting iteration, then the loop continues freely
+        return Seq([body, Loop(behaviour.body)])
+    if isinstance(behaviour, Seq):
+        return _must_act_seq(behaviour.items)
+    raise TranslationError("unknown behaviour node {!r}".format(type(behaviour).__name__))
+
+
+def _must_act_seq(items) -> Optional[Behaviour]:
+    if not items:
+        return None
+    head, rest = items[0], list(items[1:])
+    options = []
+    acting_head = must_act_variant(head)
+    if acting_head is not None:
+        options.append(Seq([acting_head] + rest))
+    if may_be_silent(head):
+        acting_rest = _must_act_seq(rest)
+        if acting_rest is not None:
+            options.append(acting_rest)
+    if not options:
+        return None
+    if len(options) == 1:
+        return options[0]
+    return Choice(options)
+
+
+# -- summarising CAPL statements into behaviour trees ---------------------------------
+
+
+class BehaviourBuilder:
+    """Summarise statement trees into behaviour trees."""
+
+    def __init__(
+        self,
+        message_vars: Dict[str, str],
+        functions: Dict[str, ast.FunctionDef],
+        known_messages: Set[str],
+    ) -> None:
+        self.message_vars = dict(message_vars)
+        self.functions = functions
+        self.known_messages = set(known_messages)
+        self._inlining: List[str] = []
+
+    def of_block(self, block: ast.Block) -> Behaviour:
+        return Seq([self.of_statement(s) for s in block.statements])
+
+    def of_statement(self, stmt: ast.Stmt) -> Behaviour:
+        if isinstance(stmt, ast.Block):
+            return self.of_block(stmt)
+        if isinstance(stmt, ast.VarDecl):
+            if stmt.message_type is not None and isinstance(stmt.message_type, str):
+                self.message_vars[stmt.name] = stmt.message_type
+            return Empty()
+        if isinstance(stmt, ast.ExprStmt):
+            return self.of_expression(stmt.expr)
+        if isinstance(stmt, ast.IfStmt):
+            then_branch = self.of_statement(stmt.then_branch)
+            else_branch = (
+                self.of_statement(stmt.else_branch)
+                if stmt.else_branch is not None
+                else Empty()
+            )
+            if then_branch.is_empty() and else_branch.is_empty():
+                return Empty()
+            return Choice([then_branch, else_branch])
+        if isinstance(stmt, (ast.WhileStmt, ast.ForStmt)):
+            body = self.of_statement(stmt.body)
+            if isinstance(stmt, ast.ForStmt) and stmt.init is not None:
+                init = self.of_statement(stmt.init)
+            else:
+                init = Empty()
+            if body.is_empty():
+                return init
+            return Seq([init, Loop(body)])
+        if isinstance(stmt, ast.DoWhileStmt):
+            body = self.of_statement(stmt.body)
+            if body.is_empty():
+                return Empty()
+            return Seq([body, Loop(body)])
+        if isinstance(stmt, ast.SwitchStmt):
+            branches = [
+                Seq([self.of_statement(s) for s in case.statements])
+                for case in stmt.cases
+            ]
+            # an implicit no-match branch exists unless a default case does
+            if not any(case.value is None for case in stmt.cases):
+                branches.append(Empty())
+            if all(branch.is_empty() for branch in branches):
+                return Empty()
+            return Choice(branches)
+        if isinstance(stmt, (ast.ReturnStmt, ast.BreakStmt, ast.ContinueStmt)):
+            return Empty()
+        raise TranslationError(
+            "unsupported statement {!r}".format(type(stmt).__name__)
+        )
+
+    def of_expression(self, expr: ast.Expr) -> Behaviour:
+        if isinstance(expr, ast.CallExpr) and isinstance(expr.function, ast.Identifier):
+            name = expr.function.name
+            if name == "output":
+                return Act(Output(self._resolve_message(expr)))
+            if name == "setTimer" and expr.args:
+                return Act(SetTimer(self._resolve_timer(expr.args[0])))
+            if name == "cancelTimer" and expr.args:
+                return Act(CancelTimer(self._resolve_timer(expr.args[0])))
+            if name in self.functions:
+                return self._inline_function(name)
+            return Empty()
+        if isinstance(expr, ast.AssignExpr):
+            return self.of_expression(expr.value)
+        if isinstance(expr, ast.ConditionalExpr):
+            then_value = self.of_expression(expr.then_value)
+            else_value = self.of_expression(expr.else_value)
+            if then_value.is_empty() and else_value.is_empty():
+                return Empty()
+            return Choice([then_value, else_value])
+        # arithmetic, comparisons, reads: no communication
+        return Empty()
+
+    def _inline_function(self, name: str) -> Behaviour:
+        if name in self._inlining:
+            raise TranslationError(
+                "recursive CAPL function {!r} cannot be summarised".format(name)
+            )
+        self._inlining.append(name)
+        try:
+            return self.of_block(self.functions[name].body)
+        finally:
+            self._inlining.pop()
+
+    def _resolve_message(self, call: ast.CallExpr) -> str:
+        if len(call.args) != 1:
+            raise TranslationError("output() takes exactly one message argument")
+        argument = call.args[0]
+        if isinstance(argument, ast.Identifier):
+            name = argument.name
+            if name in self.message_vars:
+                return self.message_vars[name]
+            if name in self.known_messages:
+                return name
+            raise TranslationError(
+                "output({}) references an undeclared message variable".format(name)
+            )
+        if isinstance(argument, ast.ThisExpr):
+            raise TranslationError("re-transmitting 'this' is not supported")
+        raise TranslationError("output() argument must be a message variable")
+
+    @staticmethod
+    def _resolve_timer(expr: ast.Expr) -> str:
+        if isinstance(expr, ast.Identifier):
+            return expr.name
+        raise TranslationError("timer argument must be a timer variable")
+
+
+# -- rendering behaviour trees to CSPm text --------------------------------------------
+
+
+class ChannelConvention:
+    """Channel naming for a node's communications.
+
+    Defaults follow the paper's Sec. V-B example: the peer transmits to the
+    node on ``send``, the node replies on ``rec``.
+    """
+
+    def __init__(
+        self,
+        in_channel: str = "send",
+        out_channel: str = "rec",
+        timer_channel: str = "timeout",
+        set_timer_channel: str = "setTimer",
+        cancel_timer_channel: str = "cancelTimer",
+    ) -> None:
+        self.in_channel = in_channel
+        self.out_channel = out_channel
+        self.timer_channel = timer_channel
+        self.set_timer_channel = set_timer_channel
+        self.cancel_timer_channel = cancel_timer_channel
+
+    def swapped(self) -> "ChannelConvention":
+        """The peer's view of the same two data channels."""
+        return ChannelConvention(
+            self.out_channel,
+            self.in_channel,
+            self.timer_channel,
+            self.set_timer_channel,
+            self.cancel_timer_channel,
+        )
+
+
+class ProcessRenderer:
+    """Render behaviour trees into CSPm prefix chains via the template group."""
+
+    def __init__(
+        self,
+        convention: ChannelConvention,
+        templates: TemplateGroup = CSPM_TEMPLATES,
+        include_timers: bool = True,
+    ) -> None:
+        self.convention = convention
+        self.templates = templates
+        self.include_timers = include_timers
+        #: auxiliary loop processes generated while rendering: (name, body)
+        self.auxiliary: List[Tuple[str, str]] = []
+        self._loop_counter = 0
+
+    def action_event(self, action: Action) -> Optional[str]:
+        if isinstance(action, Output):
+            return self.templates.render(
+                "event", channel=self.convention.out_channel, payload=action.message
+            )
+        if not self.include_timers:
+            return None
+        if isinstance(action, SetTimer):
+            return self.templates.render(
+                "receive_event",
+                channel=self.convention.set_timer_channel,
+                payload=action.timer,
+            )
+        if isinstance(action, CancelTimer):
+            return self.templates.render(
+                "receive_event",
+                channel=self.convention.cancel_timer_channel,
+                payload=action.timer,
+            )
+        return None
+
+    def _renderable_projection(self, behaviour: Behaviour) -> Behaviour:
+        """Replace actions that render to no event (e.g. timer ops with
+        timers disabled) by Empty, so guardedness analysis sees the truth."""
+        if isinstance(behaviour, Act):
+            if self.action_event(behaviour.action) is None:
+                return Empty()
+            return behaviour
+        if isinstance(behaviour, Seq):
+            return Seq([self._renderable_projection(item) for item in behaviour.items])
+        if isinstance(behaviour, Choice):
+            return Choice(
+                [self._renderable_projection(branch) for branch in behaviour.branches]
+            )
+        if isinstance(behaviour, Loop):
+            return Loop(self._renderable_projection(behaviour.body))
+        return behaviour
+
+    def render(self, behaviour: Behaviour, continuation: str, prefix: str) -> str:
+        """Render *behaviour* followed by *continuation* (a process name).
+
+        *prefix* seeds names of generated auxiliary loop processes.
+        """
+        if behaviour.is_empty():
+            return continuation
+        if isinstance(behaviour, Act):
+            event = self.action_event(behaviour.action)
+            if event is None:
+                return continuation
+            return self.templates.render(
+                "prefix", event=event, continuation=continuation
+            )
+        if isinstance(behaviour, Seq):
+            result = continuation
+            for item in reversed(behaviour.items):
+                result = self.render(item, result, prefix)
+            return result
+        if isinstance(behaviour, Choice):
+            rendered: List[str] = []
+            for branch in behaviour.branches:
+                text = self.render(branch, continuation, prefix)
+                rendered.append(text)
+            unique: List[str] = []
+            for text in rendered:
+                if text not in unique:
+                    unique.append(text)
+            if len(unique) == 1:
+                return unique[0]
+            return "(" + self.templates.render("external_choice", branches=unique) + ")"
+        if isinstance(behaviour, Loop):
+            # recurse only through iterations that emit at least one event
+            # *under the current configuration*: a silent iteration is a
+            # no-op (the exit branch covers it) and would generate unguarded
+            # recursion in the CSPm output
+            acting_body = must_act_variant(self._renderable_projection(behaviour.body))
+            if acting_body is None:
+                return continuation
+            self._loop_counter += 1
+            name = "{}_LOOP{}".format(prefix, self._loop_counter)
+            body = self.render(acting_body, name, prefix)
+            definition = "(" + self.templates.render(
+                "external_choice", branches=[continuation, body]
+            ) + ")"
+            self.auxiliary.append((name, definition))
+            return name
+        raise TranslationError(
+            "unknown behaviour node {!r}".format(type(behaviour).__name__)
+        )
+
+
+def selector_process_name(kind: str, selector: Union[str, int, None]) -> str:
+    """The generated process name for an event procedure (Fig.-3 style)."""
+    if kind == "message":
+        if isinstance(selector, int):
+            return "ONMSG_ID_0X{:X}".format(selector)
+        if selector == "*":
+            return "ONMSG_ANY"
+        return "ONMSG_{}".format(str(selector).upper())
+    if kind == "timer":
+        return "ONTIMER_{}".format(str(selector).upper())
+    if kind == "key":
+        return "ONKEY_{}".format(str(selector).upper())
+    return "ON{}".format(kind.upper())

@@ -1,0 +1,29 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.csp import Alphabet, Channel, Environment, event
+
+
+@pytest.fixture
+def abc_events():
+    """Three plain events."""
+    return event("a"), event("b"), event("c")
+
+
+@pytest.fixture
+def msgs_channels():
+    """The paper's Sec. V-B channels: ``channel send, rec : msgs``."""
+    msgs = ["reqSw", "rptSw", "reqApp", "rptUpd"]
+    return Channel("send", msgs), Channel("rec", msgs)
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def msgs_alphabet(msgs_channels):
+    send, rec = msgs_channels
+    return Alphabet.from_channels(send, rec)

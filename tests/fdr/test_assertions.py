@@ -1,0 +1,113 @@
+"""Unit tests for the assertion layer and FDR-style sessions."""
+
+import pytest
+
+from repro.csp import (
+    Environment,
+    ExternalChoice,
+    InternalChoice,
+    Prefix,
+    STOP,
+    event,
+    ref,
+    sequence,
+)
+from repro.fdr import (
+    PropertyAssertion,
+    RefinementAssertion,
+    Session,
+    deadlock_free,
+    deterministic,
+    divergence_free,
+    failures_refinement,
+    trace_refinement,
+)
+
+A, B = event("a"), event("b")
+
+
+class TestRefinementAssertion:
+    def test_invalid_model_rejected(self):
+        with pytest.raises(ValueError):
+            RefinementAssertion(STOP, STOP, model="X")
+
+    def test_trace_model(self):
+        assertion = RefinementAssertion(Prefix(A, STOP), STOP, model="T")
+        assert assertion.check(Environment()).passed
+
+    def test_failures_model(self):
+        spec = ExternalChoice(Prefix(A, STOP), Prefix(B, STOP))
+        impl = InternalChoice(Prefix(A, STOP), Prefix(B, STOP))
+        assert RefinementAssertion(spec, impl, "T").check(Environment()).passed
+        assert not RefinementAssertion(spec, impl, "F").check(Environment()).passed
+
+    def test_custom_name_in_summary(self):
+        assertion = RefinementAssertion(STOP, STOP, name="my check")
+        assert "my check" in assertion.check(Environment()).summary()
+
+
+class TestPropertyAssertion:
+    def test_unknown_property_rejected(self):
+        with pytest.raises(ValueError):
+            PropertyAssertion(STOP, "sparkly")
+
+    @pytest.mark.parametrize(
+        "property_name", ["deadlock free", "divergence free", "deterministic"]
+    )
+    def test_known_properties_run(self, property_name):
+        env = Environment().bind("P", Prefix(A, ref("P")))
+        result = PropertyAssertion(ref("P"), property_name).check(env)
+        assert result.passed
+
+
+class TestSession:
+    def test_define_and_report(self):
+        session = Session()
+        session.define("SPEC", Prefix(A, ref("SPEC")))
+        session.define("IMPL", Prefix(A, ref("IMPL")))
+        session.assert_refinement(ref("SPEC"), ref("IMPL"), name="SPEC [T= IMPL")
+        session.assert_property(ref("IMPL"), "deadlock free")
+        results = session.run()
+        assert all(result.passed for result in results)
+        report = session.report()
+        assert "2/2 assertions passed" in report
+
+    def test_failed_assertion_does_not_raise(self):
+        session = Session()
+        session.define("SPEC", Prefix(A, STOP))
+        session.define("IMPL", Prefix(B, STOP))
+        session.assert_refinement(ref("SPEC"), ref("IMPL"))
+        results = session.run()
+        assert len(results) == 1 and not results[0].passed
+
+    def test_report_counts_failures(self):
+        session = Session()
+        session.define("P", sequence(A, B))
+        session.assert_property(ref("P"), "deadlock free")  # fails: ends in STOP
+        assert "0/1 assertions passed" in session.report()
+
+
+class TestConvenienceWrappers:
+    def test_trace_refinement(self):
+        assert trace_refinement(Prefix(A, STOP), STOP).passed
+
+    def test_failures_refinement(self):
+        assert not failures_refinement(
+            Prefix(A, STOP), InternalChoice(Prefix(A, STOP), STOP)
+        ).passed
+
+    def test_deadlock_free(self):
+        env = Environment().bind("P", Prefix(A, ref("P")))
+        assert deadlock_free(ref("P"), env).passed
+        assert not deadlock_free(STOP).passed
+
+    def test_divergence_free(self):
+        assert divergence_free(sequence(A, B)).passed
+
+    def test_deterministic(self):
+        assert deterministic(sequence(A, B)).passed
+        assert not deterministic(InternalChoice(Prefix(A, STOP), STOP)).passed
+
+    def test_result_bool_protocol(self):
+        assert bool(trace_refinement(Prefix(A, STOP), STOP))
+        assert not bool(trace_refinement(STOP, Prefix(A, STOP)))

@@ -1,0 +1,60 @@
+"""Tests for the cspcheck command-line checker."""
+
+import pytest
+
+from repro.cspm.prelude import SP02_FLAWED_SCRIPT, SP02_SCRIPT
+from repro.fdr.cli import main as cspcheck_main
+
+
+@pytest.fixture
+def passing_script(tmp_path):
+    path = tmp_path / "good.csp"
+    path.write_text(SP02_SCRIPT)
+    return str(path)
+
+
+@pytest.fixture
+def failing_script(tmp_path):
+    path = tmp_path / "bad.csp"
+    path.write_text(SP02_FLAWED_SCRIPT)
+    return str(path)
+
+
+class TestCspcheck:
+    def test_passing_script_exits_zero(self, passing_script, capsys):
+        assert cspcheck_main([passing_script]) == 0
+        out = capsys.readouterr().out
+        assert "PASSED" in out and "1/1 assertions passed" in out
+
+    def test_failing_script_exits_nonzero_with_trace(self, failing_script, capsys):
+        assert cspcheck_main([failing_script]) == 1
+        out = capsys.readouterr().out
+        assert "FAILED" in out
+        assert "rec.rptUpd" in out  # the insecure trace is shown
+
+    def test_quiet_mode(self, passing_script, capsys):
+        assert cspcheck_main([passing_script, "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert out.strip() == "1/1 assertions passed"
+
+    def test_no_assertions_warns(self, tmp_path, capsys):
+        path = tmp_path / "empty.csp"
+        path.write_text("P = STOP\n")
+        assert cspcheck_main([str(path)]) == 0
+        assert "no assertions" in capsys.readouterr().err
+
+    def test_generated_model_checkable_end_to_end(self, tmp_path, capsys):
+        """capl2cspm output feeds straight into cspcheck."""
+        from repro.translator.cli import main as capl2cspm_main
+
+        capl = tmp_path / "ecu.can"
+        capl.write_text(
+            "variables { message rptSw m; }\n"
+            "on message reqSw { output(m); }\n"
+        )
+        generated = tmp_path / "ecu.csp"
+        assert capl2cspm_main([str(capl), "-o", str(generated)]) == 0
+        with open(generated, "a", encoding="utf-8") as handle:
+            handle.write("\nSPEC = send.reqSw -> rec.rptSw -> SPEC\n")
+            handle.write("assert SPEC [T= ECU\n")
+        assert cspcheck_main([str(generated)]) == 0

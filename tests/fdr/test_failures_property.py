@@ -1,0 +1,94 @@
+"""Property-based validation of the stable-failures model.
+
+Mirrors the trace-model validation: the denotational failure equations
+(:mod:`repro.csp.failures`) and the operational semantics must produce
+identical bounded failure sets on random processes, and the ``[F=`` engine's
+verdict must coincide with the definition
+
+    Spec [F= Impl  iff  traces(Impl) ⊆ traces(Spec)
+                        and failures(Impl) ⊆ failures(Spec).
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.csp import (
+    Alphabet,
+    ExternalChoice,
+    GenParallel,
+    Hiding,
+    Interleave,
+    InternalChoice,
+    Prefix,
+    SKIP,
+    STOP,
+    SeqComp,
+    compile_lts,
+    denotational_traces,
+    event,
+)
+from repro.csp.failures import denotational_failures, lts_failures
+from repro.fdr import check_failures_refinement
+
+A, B = event("a"), event("b")
+SIGMA = Alphabet.of(A, B)
+
+
+def processes():
+    base = st.sampled_from([STOP, SKIP])
+
+    def extend(children):
+        return st.one_of(
+            st.builds(Prefix, st.sampled_from([A, B]), children),
+            st.builds(ExternalChoice, children, children),
+            st.builds(InternalChoice, children, children),
+            st.builds(SeqComp, children, children),
+            st.builds(Interleave, children, children),
+            st.builds(GenParallel, children, children, st.just(Alphabet.of(A))),
+            st.builds(Hiding, children, st.just(Alphabet.of(A))),
+        )
+
+    return st.recursive(base, extend, max_leaves=4)
+
+
+BOUND = 3
+
+
+@settings(max_examples=80, deadline=None)
+@given(p=processes())
+def test_operational_failures_equal_denotational(p):
+    denotational = denotational_failures(p, SIGMA, None, BOUND)
+    operational = lts_failures(compile_lts(p), SIGMA, BOUND)
+    assert denotational == operational
+
+
+@settings(max_examples=60, deadline=None)
+@given(spec=processes(), impl=processes())
+def test_engine_agrees_with_failures_definition(spec, impl):
+    engine = check_failures_refinement(
+        compile_lts(spec), compile_lts(impl)
+    ).passed
+    spec_traces = denotational_traces(spec, None, BOUND)
+    impl_traces = denotational_traces(impl, None, BOUND)
+    spec_failures = denotational_failures(spec, SIGMA, None, BOUND)
+    impl_failures = denotational_failures(impl, SIGMA, None, BOUND)
+    definition = impl_traces <= spec_traces and impl_failures <= spec_failures
+    assert engine == definition
+
+
+@settings(max_examples=60, deadline=None)
+@given(p=processes())
+def test_failures_are_downward_closed(p):
+    failures = denotational_failures(p, SIGMA, None, BOUND)
+    for trace, refusal in failures:
+        for element in refusal:
+            assert (trace, refusal - {element}) in failures
+
+
+@settings(max_examples=60, deadline=None)
+@given(p=processes())
+def test_failure_traces_are_traces(p):
+    failures = denotational_failures(p, SIGMA, None, BOUND)
+    traces = denotational_traces(p, None, BOUND)
+    for trace, _refusal in failures:
+        assert trace in traces

@@ -1,0 +1,30 @@
+"""The README's quickstart snippet must actually run and say what it claims."""
+
+import pathlib
+import re
+
+README = (pathlib.Path(__file__).parents[2] / "README.md").read_text()
+
+
+def python_blocks():
+    return re.findall(r"```python\n(.*?)```", README, re.DOTALL)
+
+
+def test_readme_has_python_snippets():
+    assert len(python_blocks()) >= 2
+
+
+def test_quickstart_snippet_executes():
+    snippet = python_blocks()[0]
+    namespace = {}
+    exec(compile(snippet, "README-quickstart", "exec"), namespace)
+    result = namespace["result"]
+    assert result.passed  # the README promises 'PASSED'
+
+
+def test_workflow_snippet_executes():
+    snippet = python_blocks()[1]
+    namespace = {}
+    exec(compile(snippet, "README-workflow", "exec"), namespace)
+    report = namespace["report"]
+    assert not report.all_passed  # flawed=True: the README shows the failure

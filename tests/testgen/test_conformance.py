@@ -1,0 +1,77 @@
+"""Conformance testing: model-derived suites against CAPL implementations."""
+
+from repro.ota import build_session_system
+from repro.ota.capl_sources import ECU_FLAWED_SOURCE, ECU_SOURCE
+from repro.ota.messages import CAN_MESSAGE_SPECS
+from repro.testgen import coverage_of, run_suite, run_test, transition_cover
+
+
+def session_suite():
+    session = build_session_system()
+    tests = transition_cover(session.system, session.env)
+    spec = session.env.resolve("ECU_FULL")
+    return session, tests, spec
+
+
+class TestGeneratedSuite:
+    def test_full_transition_coverage(self):
+        session, tests, _spec = session_suite()
+        covered, total = coverage_of(tests, session.system, session.env)
+        assert covered == total
+
+    def test_faithful_ecu_passes(self):
+        session, tests, spec = session_suite()
+        report = run_suite(
+            ECU_SOURCE, tests, spec, CAN_MESSAGE_SPECS, session.env
+        )
+        assert report.passed, report.summary()
+
+    def test_flawed_ecu_fails_with_observed_defect(self):
+        session, tests, spec = session_suite()
+        report = run_suite(
+            ECU_FLAWED_SOURCE, tests, spec, CAN_MESSAGE_SPECS, session.env
+        )
+        assert not report.passed
+        (failure,) = report.failures
+        # the defect on the wire: an update report where the inventory
+        # response was specified
+        assert str(failure.observed[-1]) == "rec.rptUpd"
+        assert "FAIL" in failure.describe()
+
+    def test_report_summary_counts(self):
+        session, tests, spec = session_suite()
+        report = run_suite(
+            ECU_SOURCE, tests, spec, CAN_MESSAGE_SPECS, session.env
+        )
+        assert "{}/{} tests passed".format(len(tests), len(tests)) in report.summary()
+
+
+class TestSingleTest:
+    def test_stimuli_extraction_ignores_responses(self):
+        from repro.csp import Event, compile_lts
+
+        session, _tests, spec = session_suite()
+        spec_lts = compile_lts(spec, session.env)
+        test = (
+            Event("send", ("reqSw",)),
+            Event("rec", ("rptSw",)),
+        )
+        verdict = run_test(
+            ECU_SOURCE, test, CAN_MESSAGE_SPECS, spec_lts
+        )
+        assert verdict.passed
+        assert verdict.observed == test
+
+    def test_unsolicited_behaviour_detected(self):
+        """An ECU that volunteers frames beyond the spec fails conformance."""
+        from repro.csp import Event, compile_lts
+
+        chatty = """
+        variables { message rptSw a; message rptUpd b; }
+        on message reqSw { output(a); output(b); }
+        """
+        session, _tests, spec = session_suite()
+        spec_lts = compile_lts(spec, session.env)
+        test = (Event("send", ("reqSw",)), Event("rec", ("rptSw",)))
+        verdict = run_test(chatty, test, CAN_MESSAGE_SPECS, spec_lts)
+        assert not verdict.passed
