@@ -6,6 +6,7 @@ pytest-benchmark, writes the regenerated artefact to ``benchmarks/out/`` so
 the reproduction can be inspected and diffed against the paper.
 """
 
+import json
 import pathlib
 
 import pytest
@@ -23,5 +24,18 @@ def artifact():
         path.write_text(text, encoding="utf-8")
         print("\n--- {} ---".format(name))
         print(text)
+
+    return write
+
+
+@pytest.fixture
+def json_artifact():
+    """Write machine-readable benchmark data to benchmarks/out/<name>.json."""
+
+    def write(name: str, payload) -> None:
+        OUT_DIR.mkdir(exist_ok=True)
+        path = OUT_DIR / "{}.json".format(name)
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+        print("\n--- {}.json written ---".format(name))
 
     return write

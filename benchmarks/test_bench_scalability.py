@@ -7,22 +7,33 @@ interleaved ECU components grows and (b) the message-space size grows.
 The shape to reproduce: state count grows multiplicatively with components
 (the explosion), which is why the paper advocates checking components
 individually and composing models.
+
+All sweeps run through :class:`repro.engine.VerificationPipeline`, so the
+timings reflect the production path (interned alphabets + on-the-fly
+refinement).  Besides the text tables, the sweeps accumulate into
+``benchmarks/out/BENCH_scalability.json`` for machine consumption.
 """
 
+import json
 import time
 
-from repro.csp import (
-    Alphabet,
-    Channel,
-    Environment,
-    Prefix,
-    compile_lts,
-    interleave_all,
-    prefix,
-    ref,
-)
-from repro.fdr import check_trace_refinement
+from repro.csp import Channel, Environment, Prefix, ref
+from repro.engine import VerificationPipeline
+from repro.fdr import check_trace_refinement_from
 from repro.security.properties import run_process
+
+from conftest import OUT_DIR
+
+
+def _merge_bench_json(section, rows):
+    """Fold one sweep's rows into BENCH_scalability.json (shared by 3 tests)."""
+    path = OUT_DIR / "BENCH_scalability.json"
+    OUT_DIR.mkdir(exist_ok=True)
+    data = {}
+    if path.exists():
+        data = json.loads(path.read_text(encoding="utf-8"))
+    data[section] = rows
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n", encoding="utf-8")
 
 
 def build_component(env, channel, index):
@@ -36,18 +47,21 @@ def build_component(env, channel, index):
 
 
 def check_with_components(count):
+    from repro.csp import interleave_all
+
     payloads = [("req", i) for i in range(count)] + [("rsp", i) for i in range(count)]
     channel = Channel("bus", payloads)
     env = Environment()
     components = [build_component(env, channel, i) for i in range(count)]
     system = interleave_all(*components)
     spec = run_process(channel.alphabet(), env, "RUNALL")
+    pipeline = VerificationPipeline(env)
     started = time.perf_counter()
-    impl_lts = compile_lts(system, env)
-    result = check_trace_refinement(compile_lts(spec, env), impl_lts)
+    impl = pipeline.lazy(system)
+    result = check_trace_refinement_from(pipeline.normalised(spec), impl)
     elapsed_ms = (time.perf_counter() - started) * 1000.0
     assert result.passed
-    return count, impl_lts.state_count, result.states_explored, elapsed_ms
+    return count, impl.state_count, result.states_explored, elapsed_ms
 
 
 def component_sweep():
@@ -67,12 +81,13 @@ def message_space_sweep():
             input_choice(channel, lambda _v: input_choice(channel, lambda _w: ref("SRV"))),
         )
         spec = run_process(channel.alphabet(), env, "RUNALL")
+        pipeline = VerificationPipeline(env)
         started = time.perf_counter()
-        impl_lts = compile_lts(ref("SRV"), env)
-        result = check_trace_refinement(compile_lts(spec, env), impl_lts)
+        impl = pipeline.lazy(ref("SRV"))
+        result = check_trace_refinement_from(pipeline.normalised(spec), impl)
         elapsed_ms = (time.perf_counter() - started) * 1000.0
         assert result.passed
-        rows.append((size, impl_lts.state_count, result.transitions_explored, elapsed_ms))
+        rows.append((size, impl.state_count, result.transitions_explored, elapsed_ms))
     return rows
 
 
@@ -93,6 +108,13 @@ def test_bench_scalability_components(benchmark, artifact):
             "{:<12} {:<14} {:<16} {:.2f}".format(count, state_count, explored, elapsed)
         )
     artifact("scalability_components", "\n".join(lines))
+    _merge_bench_json(
+        "components",
+        [
+            {"components": c, "states": s, "pairs_explored": e, "check_ms": round(t, 3)}
+            for c, s, e, t in rows
+        ],
+    )
 
 
 def test_bench_scalability_message_space(benchmark, artifact):
@@ -108,11 +130,17 @@ def test_bench_scalability_message_space(benchmark, artifact):
             "{:<12} {:<14} {:<20} {:.2f}".format(size, state_count, transitions, elapsed)
         )
     artifact("scalability_message_space", "\n".join(lines))
+    _merge_bench_json(
+        "message_space",
+        [
+            {"messages": m, "states": s, "transitions": tr, "check_ms": round(t, 3)}
+            for m, s, tr, t in rows
+        ],
+    )
 
 
 def intruder_lattice_sweep():
     """Knowledge-lattice growth: intruder state count is 2^|universe|."""
-    from repro.csp import Channel, Environment
     from repro.security import IntruderBuilder
 
     rows = []
@@ -121,9 +149,10 @@ def intruder_lattice_sweep():
         listen = Channel("hear", payloads)
         inject = Channel("say", payloads)
         env = Environment()
+        pipeline = VerificationPipeline(env)
         started = time.perf_counter()
         intruder = IntruderBuilder([listen], [inject], payloads).build(env)
-        lts = compile_lts(intruder, env)
+        lts = pipeline.compile(intruder)
         elapsed_ms = (time.perf_counter() - started) * 1000.0
         rows.append((size, lts.state_count, lts.transition_count, elapsed_ms))
     return rows
@@ -146,3 +175,10 @@ def test_bench_scalability_intruder_lattice(benchmark, artifact):
             "{:<12} {:<14} {:<14} {:.2f}".format(size, state_count, transitions, elapsed)
         )
     artifact("scalability_intruder_lattice", "\n".join(lines))
+    _merge_bench_json(
+        "intruder_lattice",
+        [
+            {"universe": u, "states": s, "transitions": tr, "build_compile_ms": round(t, 3)}
+            for u, s, tr, t in rows
+        ],
+    )

@@ -9,6 +9,8 @@ A complete, from-scratch reproduction of
 The package provides every stage of the paper's Fig. 1 toolchain:
 
 * :mod:`repro.csp`        -- the CSP process algebra, trace semantics, LTSs
+* :mod:`repro.engine`     -- the shared verification pipeline (interned
+  alphabets, compilation cache, on-the-fly refinement)
 * :mod:`repro.fdr`        -- the refinement checker (FDR substitute)
 * :mod:`repro.cspm`       -- the machine-readable CSP dialect (parse/emit)
 * :mod:`repro.capl`       -- CAPL: parser and bus-attached interpreter
@@ -26,7 +28,7 @@ Quickstart::
     print(report.summary())              # SP02 fails with the insecure trace
 """
 
-from . import canbus, candb, capl, csp, cspm, fdr, ota, security, testgen, translator
+from . import canbus, candb, capl, csp, cspm, engine, fdr, ota, security, testgen, translator
 
 __version__ = "1.0.0"
 
@@ -36,6 +38,7 @@ __all__ = [
     "capl",
     "csp",
     "cspm",
+    "engine",
     "fdr",
     "ota",
     "security",

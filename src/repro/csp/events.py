@@ -244,6 +244,87 @@ class Alphabet:
         return "Alphabet({{{}}})".format(", ".join(str(e) for e in self))
 
 
+#: Dense ids reserved by every :class:`AlphabetTable`.
+TAU_ID = 0
+TICK_ID = 1
+
+
+class AlphabetTable:
+    """Interns events to dense integer ids for the verification engine.
+
+    A table is shared by every automaton of one verification pipeline, so a
+    transition label is a single small int: comparable with ``==``, usable
+    as a list index, and packable into refusal-set bitsets (bit *i* of a
+    bitset stands for the event with id *i*).  Tau and tick always get ids
+    0 and 1; visible events are numbered in interning order.  The table
+    renders ids back to :class:`Event` at API boundaries (counterexamples,
+    trace reports), so callers never see the ids unless they ask.
+    """
+
+    __slots__ = ("_ids", "_events", "_sort_keys")
+
+    def __init__(self) -> None:
+        self._ids = {TAU: TAU_ID, TICK: TICK_ID}
+        self._events = [TAU, TICK]
+        self._sort_keys = [str(TAU), str(TICK)]
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def intern(self, event: Event) -> int:
+        """The id of *event*, allocating the next dense id on first sight."""
+        eid = self._ids.get(event)
+        if eid is None:
+            eid = len(self._events)
+            self._ids[event] = eid
+            self._events.append(event)
+            self._sort_keys.append(str(event))
+        return eid
+
+    def id_of(self, event: Event) -> Optional[int]:
+        """The id of *event* if already interned, else ``None`` (no allocation)."""
+        return self._ids.get(event)
+
+    def event_of(self, eid: int) -> Event:
+        """Render an id back to its event."""
+        return self._events[eid]
+
+    def sort_key(self, eid: int) -> str:
+        """The event's display string -- the deterministic ordering key."""
+        return self._sort_keys[eid]
+
+    def events(self) -> Tuple[Event, ...]:
+        """Every interned event, in id order (tau and tick first)."""
+        return tuple(self._events)
+
+    # -- bitset helpers ------------------------------------------------------
+
+    def encode_set(self, events: Iterable[Event]) -> int:
+        """Pack a set of events into an int bitset, interning as needed."""
+        bits = 0
+        for event in events:
+            bits |= 1 << self.intern(event)
+        return bits
+
+    def encode_known(self, events: Iterable[Event]) -> int:
+        """Pack only the already-interned members of *events* into a bitset."""
+        bits = 0
+        for event in events:
+            eid = self._ids.get(event)
+            if eid is not None:
+                bits |= 1 << eid
+        return bits
+
+    def decode_bits(self, bits: int) -> frozenset:
+        """Unpack a bitset into the frozenset of events it stands for."""
+        events = []
+        while bits:
+            low = bits & -bits
+            events.append(self._events[low.bit_length() - 1])
+            bits ^= low
+        return frozenset(events)
+
+
 def event(name: str, *fields: Value) -> Event:
     """Build an event directly: ``event('send', 'reqSw')`` is ``send.reqSw``."""
     return Event(name, fields)

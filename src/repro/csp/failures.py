@@ -18,7 +18,7 @@ in testing the powerset stays tiny.
 from __future__ import annotations
 
 from itertools import combinations
-from typing import FrozenSet, Iterable, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple
 
 from .events import Alphabet, Event, TICK
 from .lts import LTS
@@ -221,11 +221,20 @@ def lts_failures(
     """The stable failures the operational semantics exhibits, bounded.
 
     For every visible trace up to the bound: each *stable* state reachable
-    after it contributes the refusals disjoint from its offer set.
+    after it contributes the refusals disjoint from its offer set.  Refusal
+    sets are int bitsets over the LTS's interned event ids internally and
+    only decoded to event sets at the end.
     """
-    sigma_tick = list(sigma) + [TICK]
-    refusals_all = _powerset(sigma_tick)
-    failures: Set[Failure] = set()
+    from .events import TAU_ID, TICK_ID
+
+    table = lts.table
+    sigma_ids = [table.intern(event) for event in sigma] + [TICK_ID]
+    refusal_bits_all = tuple(
+        sum(1 << sigma_ids[i] for i in positions)
+        for size in range(len(sigma_ids) + 1)
+        for positions in combinations(range(len(sigma_ids)), size)
+    )
+    failures_bits: Set[Tuple[Trace, int]] = set()
 
     start = lts.tau_closure(frozenset([lts.initial]))
     frontier = [((), start)]
@@ -239,27 +248,37 @@ def lts_failures(
             for state in states:
                 if not lts.is_stable(state):
                     continue
-                offered = frozenset(e for e, _t in lts.successors(state))
-                for refusal in refusals_all:
+                offered = 0
+                for eid, _t in lts.successors_ids(state):
+                    offered |= 1 << eid
+                for refusal in refusal_bits_all:
                     if not (refusal & offered):
-                        failures.add((trace, refusal))
+                        failures_bits.add((trace, refusal))
             if len(trace) >= max_length:
                 continue
             by_event = {}
             for state in states:
-                for event, target in lts.successors(state):
-                    if event.is_tau():
+                for eid, target in lts.successors_ids(state):
+                    if eid == TAU_ID:
                         continue
-                    by_event.setdefault(event, set()).add(target)
-            for event, targets in by_event.items():
-                extended = trace + (event,)
-                if event.is_tick():
+                    by_event.setdefault(eid, set()).add(target)
+            for eid, targets in by_event.items():
+                extended = trace + (table.event_of(eid),)
+                if eid == TICK_ID:
                     # post-termination state: terminated, refuses everything
-                    for refusal in refusals_all:
-                        failures.add((extended, refusal))
+                    for refusal in refusal_bits_all:
+                        failures_bits.add((extended, refusal))
                 else:
                     next_frontier.append(
                         (extended, lts.tau_closure(frozenset(targets)))
                     )
         frontier = next_frontier
+    decoded: Dict[int, FrozenSet[Event]] = {}
+    failures: Set[Failure] = set()
+    for trace, bits in failures_bits:
+        refusal = decoded.get(bits)
+        if refusal is None:
+            refusal = table.decode_bits(bits)
+            decoded[bits] = refusal
+        failures.add((trace, refusal))
     return failures

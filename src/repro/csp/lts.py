@@ -6,6 +6,13 @@ exploration of the operational semantics, into a finite LTS with integer
 states.  The compiler deduplicates structurally equal process terms, so
 recursive definitions close back on themselves and the LTS is finite whenever
 the process is finite-state.
+
+Transition labels are stored as dense integer ids drawn from an
+:class:`~repro.csp.events.AlphabetTable` (tau is id 0, tick id 1), so the
+normaliser and refinement checker work on ints; the public ``successors`` /
+``initials`` / ``walk`` API still speaks :class:`Event`, decoding through the
+table at the boundary.  Pass a shared table to :func:`compile_lts` to give
+several automata one id space -- the verification pipeline does exactly that.
 """
 
 from __future__ import annotations
@@ -13,7 +20,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
 
-from .events import Event, TAU, TICK
+from .events import AlphabetTable, Event, TAU, TAU_ID, TICK, TICK_ID
 from .process import Environment, Process
 from .semantics import transitions as sos_transitions
 
@@ -34,9 +41,10 @@ class StateSpaceLimitExceeded(RuntimeError):
 class LTS:
     """A finite labelled transition system with a single initial state."""
 
-    def __init__(self) -> None:
+    def __init__(self, table: Optional[AlphabetTable] = None) -> None:
         self.initial: StateId = 0
-        self._succ: List[List[Tuple[Event, StateId]]] = []
+        self.table: AlphabetTable = table if table is not None else AlphabetTable()
+        self._succ: List[List[Tuple[int, StateId]]] = []
         #: optional mapping back to the process term each state came from
         self.terms: List[Optional[Process]] = []
 
@@ -48,7 +56,10 @@ class LTS:
         return len(self._succ) - 1
 
     def add_transition(self, source: StateId, event: Event, target: StateId) -> None:
-        self._succ[source].append((event, target))
+        self._succ[source].append((self.table.intern(event), target))
+
+    def add_transition_id(self, source: StateId, eid: int, target: StateId) -> None:
+        self._succ[source].append((eid, target))
 
     # -- queries ---------------------------------------------------------------
 
@@ -61,21 +72,30 @@ class LTS:
         return sum(len(edges) for edges in self._succ)
 
     def successors(self, state: StateId) -> List[Tuple[Event, StateId]]:
+        event_of = self.table.event_of
+        return [(event_of(eid), t) for eid, t in self._succ[state]]
+
+    def successors_ids(self, state: StateId) -> List[Tuple[int, StateId]]:
+        """The raw interned transitions -- the engine's hot-path view."""
         return self._succ[state]
 
     def visible_successors(self, state: StateId) -> List[Tuple[Event, StateId]]:
         """Transitions on events other than tau (tick included: it is observable)."""
-        return [(e, t) for e, t in self._succ[state] if not e.is_tau()]
+        event_of = self.table.event_of
+        return [
+            (event_of(eid), t) for eid, t in self._succ[state] if eid != TAU_ID
+        ]
 
     def tau_successors(self, state: StateId) -> List[StateId]:
-        return [t for e, t in self._succ[state] if e.is_tau()]
+        return [t for eid, t in self._succ[state] if eid == TAU_ID]
 
     def initials(self, state: StateId) -> FrozenSet[Event]:
-        return frozenset(e for e, _ in self._succ[state])
+        event_of = self.table.event_of
+        return frozenset(event_of(eid) for eid, _ in self._succ[state])
 
     def is_stable(self, state: StateId) -> bool:
         """A state is stable if it has no outgoing tau."""
-        return not any(e.is_tau() for e, _ in self._succ[state])
+        return not any(eid == TAU_ID for eid, _ in self._succ[state])
 
     def is_deadlocked(self, state: StateId) -> bool:
         """No transitions at all and not a post-termination state."""
@@ -87,38 +107,44 @@ class LTS:
         work = deque(states)
         while work:
             state = work.popleft()
-            for target in self.tau_successors(state):
-                if target not in seen:
+            for eid, target in self._succ[state]:
+                if eid == TAU_ID and target not in seen:
                     seen.add(target)
                     work.append(target)
         return frozenset(seen)
 
     def alphabet(self) -> FrozenSet[Event]:
         """Every visible event appearing on some transition."""
-        events: Set[Event] = set()
+        ids: Set[int] = set()
         for edges in self._succ:
-            for event, _ in edges:
-                if event.is_visible():
-                    events.add(event)
-        return frozenset(events)
+            for eid, _ in edges:
+                ids.add(eid)
+        ids.discard(TAU_ID)
+        ids.discard(TICK_ID)
+        event_of = self.table.event_of
+        return frozenset(event_of(eid) for eid in ids)
 
     def events_after(self, states: FrozenSet[StateId]) -> FrozenSet[Event]:
         """Visible/tick events available from any of the given states."""
-        events: Set[Event] = set()
+        ids: Set[int] = set()
         for state in states:
-            for event, _ in self._succ[state]:
-                if not event.is_tau():
-                    events.add(event)
-        return frozenset(events)
+            for eid, _ in self._succ[state]:
+                if eid != TAU_ID:
+                    ids.add(eid)
+        event_of = self.table.event_of
+        return frozenset(event_of(eid) for eid in ids)
 
     def walk(self, trace: List[Event]) -> Optional[FrozenSet[StateId]]:
         """The set of states reachable by *trace* (with taus), or None if impossible."""
         current = self.tau_closure(frozenset([self.initial]))
         for event in trace:
+            eid = self.table.id_of(event)
+            if eid is None:
+                return None
             step: Set[StateId] = set()
             for state in current:
-                for edge_event, target in self._succ[state]:
-                    if edge_event == event:
+                for edge_id, target in self._succ[state]:
+                    if edge_id == eid:
                         step.add(target)
             if not step:
                 return None
@@ -137,7 +163,7 @@ class LTS:
             shape = "doublecircle" if self.is_deadlocked(state) else "circle"
             lines.append('  s{} [shape={}, label="{}"];'.format(state, shape, state))
         for state in self.iter_states():
-            for event, target in self._succ[state]:
+            for event, target in self.successors(state):
                 label = str(event)
                 lines.append('  s{} -> s{} [label="{}"];'.format(state, target, label))
         lines.append("}")
@@ -151,15 +177,18 @@ def compile_lts(
     process: Process,
     env: Optional[Environment] = None,
     max_states: int = DEFAULT_STATE_LIMIT,
+    table: Optional[AlphabetTable] = None,
 ) -> LTS:
     """Compile a process term into a finite LTS by exhaustive exploration.
 
     Structurally equal terms are merged into one state, which ties recursive
     definitions back into cycles.  Raises :class:`StateSpaceLimitExceeded` if
-    more than *max_states* distinct terms are reached.
+    more than *max_states* distinct terms are reached.  A shared *table* puts
+    the result in an existing id space (one table per pipeline).
     """
     env = env or Environment()
-    lts = LTS()
+    lts = LTS(table)
+    intern = lts.table.intern
     index: Dict[Process, StateId] = {}
 
     def state_of(term: Process) -> StateId:
@@ -185,7 +214,7 @@ def compile_lts(
         for event, successor in sos_transitions(term, env):
             known = successor in index
             target = state_of(successor)
-            lts.add_transition(source, event, target)
+            lts.add_transition_id(source, intern(event), target)
             if not known:
                 work.append(successor)
     return lts
@@ -203,20 +232,21 @@ def reachable_visible_traces(
     results: Set[Tuple[Event, ...]] = {()}
     start = lts.tau_closure(frozenset([lts.initial]))
     frontier: List[Tuple[Tuple[Event, ...], FrozenSet[StateId]]] = [((), start)]
+    event_of = lts.table.event_of
     for _ in range(max_length):
         next_frontier: List[Tuple[Tuple[Event, ...], FrozenSet[StateId]]] = []
         for trace, states in frontier:
-            by_event: Dict[Event, Set[StateId]] = {}
+            by_event: Dict[int, Set[StateId]] = {}
             for state in states:
-                for event, target in lts.successors(state):
-                    if event.is_tau():
+                for eid, target in lts.successors_ids(state):
+                    if eid == TAU_ID:
                         continue
-                    by_event.setdefault(event, set()).add(target)
-            for event, targets in by_event.items():
-                extended = trace + (event,)
+                    by_event.setdefault(eid, set()).add(target)
+            for eid, targets in by_event.items():
+                extended = trace + (event_of(eid),)
                 if extended not in results:
                     results.add(extended)
-                    if not event.is_tick():
+                    if eid != TICK_ID:
                         closure = lts.tau_closure(frozenset(targets))
                         next_frontier.append((extended, closure))
         frontier = next_frontier

@@ -16,15 +16,57 @@ deduplicate states.
 
 from __future__ import annotations
 
+import hashlib
+import weakref
 from typing import Callable, Dict, Iterable, Mapping, Optional, Sequence, Tuple
 
 from .events import Alphabet, Channel, Event, Value
 
 
-class Process:
+def _canonical(item: object) -> str:
+    """A canonical string for one `_key()` component (Processes excluded)."""
+    if isinstance(item, Process):
+        return "#" + item.fingerprint()
+    if isinstance(item, Event):
+        return "e" + repr((item.channel, item.fields))
+    if isinstance(item, Alphabet):
+        return "A{" + ",".join(
+            sorted(repr((e.channel, e.fields)) for e in item.events)
+        ) + "}"
+    if isinstance(item, tuple):
+        return "(" + ",".join(_canonical(part) for part in item) + ")"
+    return type(item).__name__ + ":" + repr(item)
+
+
+class _InternedMeta(type):
+    """Hash-consing for process terms: equal terms become the same object.
+
+    Constructing a term structurally equal to a live one returns the existing
+    object.  Construction pays one table lookup; in exchange, the state memos
+    of the compiler and the on-the-fly refinement expander dedup fresh terms
+    by pointer comparison instead of walking whole subtrees.  Entries are
+    dropped when the canonical term is garbage collected.
+    """
+
+    _table: "weakref.WeakValueDictionary" = weakref.WeakValueDictionary()
+
+    def __call__(cls, *args, **kwargs):
+        term = super().__call__(*args, **kwargs)
+        # key by (class, structural key), not by the term itself: a
+        # WeakValueDictionary holds keys strongly, so a term keyed by itself
+        # would never be collected
+        key = (cls, term._key())
+        canonical = _InternedMeta._table.get(key)
+        if canonical is not None:
+            return canonical
+        _InternedMeta._table[key] = term
+        return term
+
+
+class Process(metaclass=_InternedMeta):
     """Base class for all process terms."""
 
-    __slots__ = ()
+    __slots__ = ("_hash", "_fingerprint", "__weakref__")
 
     # -- combinator sugar ---------------------------------------------------
 
@@ -62,12 +104,58 @@ class Process:
         raise NotImplementedError
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            # shared subterms are common (SOS successors reuse the original
+            # branch objects), so the identity fast path turns most deep
+            # structural comparisons into pointer checks
+            return True
         if not isinstance(other, Process):
             return NotImplemented
         return type(self) is type(other) and self._key() == other._key()
 
     def __hash__(self) -> int:
-        return hash((type(self).__name__, self._key()))
+        try:
+            return self._hash
+        except AttributeError:
+            value = hash((type(self).__name__, self._key()))
+            object.__setattr__(self, "_hash", value)
+            return value
+
+    def fingerprint(self) -> str:
+        """A structural fingerprint (hex digest) of this term.
+
+        Equal terms have equal fingerprints, and the digest depends only on
+        the term's structure -- not on object identity or interpreter hash
+        randomisation -- so it can key compilation caches across checks.
+        Computed iteratively (deep prefix chains exceed the recursion limit)
+        and cached on the node.
+        """
+        try:
+            return self._fingerprint
+        except AttributeError:
+            pass
+        stack = [self]
+        while stack:
+            term = stack[-1]
+            if getattr(term, "_fingerprint", None) is not None:
+                stack.pop()
+                continue
+            pending = [
+                item
+                for item in term._key()
+                if isinstance(item, Process)
+                and getattr(item, "_fingerprint", None) is None
+            ]
+            if pending:
+                stack.extend(pending)
+                continue
+            stack.pop()
+            digest = hashlib.sha256(type(term).__name__.encode("utf-8"))
+            for item in term._key():
+                digest.update(b"\x1f")
+                digest.update(_canonical(item).encode("utf-8"))
+            object.__setattr__(term, "_fingerprint", digest.hexdigest())
+        return self._fingerprint
 
 
 class Stop(Process):

@@ -134,23 +134,42 @@ class CspmModel:
             )
         return ProcessRef(name)
 
-    def check_assertions(self, max_states: int = 200_000) -> List[CheckResult]:
-        """Discharge every ``assert`` in the script; returns one result each."""
+    def check_assertions(
+        self, max_states: int = 200_000, pipeline=None
+    ) -> List[CheckResult]:
+        """Discharge every ``assert`` in the script; returns one result each.
+
+        All assertions share one verification pipeline, so a process term
+        appearing on several assert lines compiles and normalises once.  Pass
+        a preconfigured :class:`~repro.engine.VerificationPipeline` to
+        control eager/lazy search or reuse a cache across scripts.
+        """
+        from ..engine.pipeline import VerificationPipeline
+
+        if pipeline is None:
+            pipeline = VerificationPipeline(self.env, max_states=max_states)
         results = []
         for decl in self.assertions:
-            results.append(self.check_assertion(decl, max_states))
+            results.append(self.check_assertion(decl, max_states, pipeline))
         return results
 
     def check_assertion(
-        self, decl: ast.AssertDecl, max_states: int = 200_000
+        self,
+        decl: ast.AssertDecl,
+        max_states: int = 200_000,
+        pipeline=None,
     ) -> CheckResult:
         left = self.eval_process(decl.left, {})
         if decl.kind in ("T", "F", "FD"):
             right = self.eval_process(decl.right, {})
             model = decl.kind
-            result = RefinementAssertion(left, right, model).check(self.env, max_states)
+            result = RefinementAssertion(left, right, model).check(
+                self.env, max_states, pipeline=pipeline
+            )
         else:
-            result = PropertyAssertion(left, decl.kind).check(self.env, max_states)
+            result = PropertyAssertion(left, decl.kind).check(
+                self.env, max_states, pipeline=pipeline
+            )
         if decl.negated:
             flipped = CheckResult(
                 "not ({})".format(result.name),

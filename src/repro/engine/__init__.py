@@ -1,0 +1,32 @@
+"""The shared verification engine.
+
+One :class:`VerificationPipeline` per model-checking session replaces the
+hand-wired compile → normalise → refine sequences that used to live in every
+caller.  The pipeline owns three pieces of shared state:
+
+* an :class:`AlphabetTable` interning events to dense int ids, so every
+  automaton it builds lives in one id space and the product search never
+  hashes an :class:`~repro.csp.events.Event` on the hot path;
+* a :class:`CompilationCache` memoising compiled LTSs and normalised
+  specifications by structural fingerprint, so checking one specification
+  against many implementations compiles the shared side once;
+* the check dispatch itself, including the on-the-fly implementation
+  expansion that lets trace/failures checks exit on the first violation
+  without materialising the full implementation state space.
+"""
+
+from .alphabet import AlphabetTable, TAU_ID, TICK_ID, shared_table_of
+from .cache import CompilationCache, reachable_bindings, structural_key
+from .pipeline import VerificationPipeline, shared_cache
+
+__all__ = [
+    "AlphabetTable",
+    "TAU_ID",
+    "TICK_ID",
+    "CompilationCache",
+    "VerificationPipeline",
+    "reachable_bindings",
+    "shared_cache",
+    "shared_table_of",
+    "structural_key",
+]

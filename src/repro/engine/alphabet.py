@@ -1,0 +1,24 @@
+"""Interned alphabets for the verification engine.
+
+The table itself lives in :mod:`repro.csp.events` (next to :class:`Event`,
+whose identity it interns, and below every layer that needs it); this module
+is the engine-facing name for it plus small helpers used by the pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..csp.events import AlphabetTable, Event, TAU_ID, TICK_ID
+
+__all__ = ["AlphabetTable", "TAU_ID", "TICK_ID", "shared_table_of"]
+
+
+def shared_table_of(*automata: object) -> bool:
+    """True when every automaton shares one :class:`AlphabetTable`.
+
+    The product search skips per-transition id translation exactly when this
+    holds -- useful in tests asserting the fast path is actually taken.
+    """
+    tables = [getattr(automaton, "table", None) for automaton in automata]
+    return bool(tables) and all(table is tables[0] for table in tables)

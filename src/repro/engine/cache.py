@@ -1,0 +1,120 @@
+"""The model-compilation cache, keyed by structural fingerprints.
+
+A compiled LTS (or normalised specification) depends on exactly two things:
+the structure of the root term and the bodies of the named equations it can
+reach through :class:`~repro.csp.process.ProcessRef`.  The cache key captures
+both -- ``Process.fingerprint()`` for the root plus the sorted fingerprints
+of the reachable bindings -- so a hit is sound even when the environment has
+since gained or changed *unrelated* bindings (the mutants sweep binds a new
+implementation per iteration while the specification side stays put).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..csp.lts import LTS, StateSpaceLimitExceeded
+from ..csp.process import Environment, Process, ProcessRef
+from ..fdr.normalise import NormalisedSpec
+
+#: (root fingerprint, sorted (name, body fingerprint) of reachable bindings)
+CacheKey = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+#: fingerprint stand-in for a reference with no binding (unbound names fail
+#: at compile time, but the key must still distinguish them)
+_UNBOUND = "<unbound>"
+
+
+def reachable_bindings(
+    process: Process, env: Environment
+) -> Tuple[Tuple[str, str], ...]:
+    """The named equations reachable from *process*, with body fingerprints."""
+    seen: Dict[str, Optional[Process]] = {}
+    stack = [process]
+    while stack:
+        term = stack.pop()
+        if isinstance(term, ProcessRef) and term.name not in seen:
+            if term.name in env:
+                body = env.resolve(term.name)
+                seen[term.name] = body
+                stack.append(body)
+            else:
+                seen[term.name] = None
+        stack.extend(
+            item for item in term._key() if isinstance(item, Process)
+        )
+    return tuple(
+        sorted(
+            (name, body.fingerprint() if body is not None else _UNBOUND)
+            for name, body in seen.items()
+        )
+    )
+
+
+def structural_key(process: Process, env: Environment) -> CacheKey:
+    """The cache key of compiling *process* under *env*."""
+    return (process.fingerprint(), reachable_bindings(process, env))
+
+
+class CompilationCache:
+    """Memoises compiled LTSs and normalised specifications.
+
+    Entries are keyed structurally (see :func:`structural_key`), so one cache
+    may be shared across pipelines, environments, and checks.  A cached LTS
+    is complete -- compilation either finished or raised -- so it satisfies
+    any state budget at least as large as its own state count; a lookup under
+    a smaller budget re-raises :class:`StateSpaceLimitExceeded` exactly as a
+    fresh compile would.
+    """
+
+    def __init__(self) -> None:
+        self._lts: Dict[CacheKey, LTS] = {}
+        self._normalised: Dict[CacheKey, NormalisedSpec] = {}
+        self.lts_hits = 0
+        self.lts_misses = 0
+        self.normalised_hits = 0
+        self.normalised_misses = 0
+
+    def get_lts(self, key: CacheKey, max_states: int) -> Optional[LTS]:
+        cached = self._lts.get(key)
+        if cached is None:
+            self.lts_misses += 1
+            return None
+        if cached.state_count > max_states:
+            raise StateSpaceLimitExceeded(max_states)
+        self.lts_hits += 1
+        return cached
+
+    def put_lts(self, key: CacheKey, lts: LTS) -> None:
+        self._lts[key] = lts
+
+    def get_normalised(
+        self, key: CacheKey, max_states: int
+    ) -> Optional[NormalisedSpec]:
+        cached = self._normalised.get(key)
+        if cached is None:
+            self.normalised_misses += 1
+            return None
+        # the source LTS is cached under the same key; let its budget check run
+        source = self._lts.get(key)
+        if source is not None and source.state_count > max_states:
+            raise StateSpaceLimitExceeded(max_states)
+        self.normalised_hits += 1
+        return cached
+
+    def put_normalised(self, key: CacheKey, spec: NormalisedSpec) -> None:
+        self._normalised[key] = spec
+
+    def clear(self) -> None:
+        self._lts.clear()
+        self._normalised.clear()
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "lts_entries": len(self._lts),
+            "lts_hits": self.lts_hits,
+            "lts_misses": self.lts_misses,
+            "normalised_entries": len(self._normalised),
+            "normalised_hits": self.normalised_hits,
+            "normalised_misses": self.normalised_misses,
+        }

@@ -1,0 +1,172 @@
+"""The verification pipeline: compile → normalise → refine, shared.
+
+Every check that used to hand-wire ``compile_lts`` + ``normalise`` +
+``check_*`` now goes through one :class:`VerificationPipeline`.  The pipeline
+owns an interned :class:`AlphabetTable` (one id space for every automaton it
+builds), a :class:`CompilationCache` (one compile per distinct term), and the
+choice between the on-the-fly product search (default for ``[T=`` / ``[F=``:
+implementation states unfold on demand, the search exits on the first
+violation) and the eager search (full LTS on both sides; always used for
+``[FD=``, which needs the implementation's complete tau graph).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..csp.events import AlphabetTable
+from ..csp.lts import DEFAULT_STATE_LIMIT, LTS, compile_lts
+from ..csp.process import Environment, Process
+from ..fdr.normalise import NormalisedSpec, normalise
+from ..fdr.refine import (
+    CheckResult,
+    LazyImplementation,
+    check_deadlock_free,
+    check_deterministic,
+    check_divergence_free,
+    check_failures_refinement_from,
+    check_fd_refinement,
+    check_trace_refinement_from,
+)
+from .cache import CompilationCache, structural_key
+
+_PROPERTY_CHECKS = {
+    "deadlock free": check_deadlock_free,
+    "divergence free": check_divergence_free,
+    "deterministic": check_deterministic,
+}
+
+
+class VerificationPipeline:
+    """A shared compile/normalise/refine pipeline over one environment."""
+
+    def __init__(
+        self,
+        env: Optional[Environment] = None,
+        *,
+        table: Optional[AlphabetTable] = None,
+        cache: Optional[CompilationCache] = None,
+        max_states: int = DEFAULT_STATE_LIMIT,
+        on_the_fly: bool = True,
+    ) -> None:
+        self.env = env if env is not None else Environment()
+        self.table = table if table is not None else AlphabetTable()
+        self.cache = cache if cache is not None else CompilationCache()
+        self.max_states = max_states
+        self.on_the_fly = on_the_fly
+        self.checks_run = 0
+
+    # -- compilation ---------------------------------------------------------
+
+    def compile(self, process: Process, max_states: Optional[int] = None) -> LTS:
+        """Compile *process* through the cache, in the pipeline's id space."""
+        limit = self.max_states if max_states is None else max_states
+        key = structural_key(process, self.env)
+        cached = self.cache.get_lts(key, limit)
+        if cached is not None:
+            return cached
+        lts = compile_lts(process, self.env, limit, self.table)
+        self.cache.put_lts(key, lts)
+        return lts
+
+    def normalised(
+        self, process: Process, max_states: Optional[int] = None
+    ) -> NormalisedSpec:
+        """The normalised automaton of *process*, through the cache."""
+        limit = self.max_states if max_states is None else max_states
+        key = structural_key(process, self.env)
+        cached = self.cache.get_normalised(key, limit)
+        if cached is not None:
+            return cached
+        spec = normalise(self.compile(process, limit))
+        self.cache.put_normalised(key, spec)
+        return spec
+
+    def lazy(
+        self, process: Process, max_states: Optional[int] = None
+    ) -> LazyImplementation:
+        """An on-the-fly expansion of *process* in the pipeline's id space."""
+        limit = self.max_states if max_states is None else max_states
+        return LazyImplementation(process, self.env, self.table, limit)
+
+    # -- checks --------------------------------------------------------------
+
+    def refinement(
+        self,
+        spec: Process,
+        impl: Process,
+        model: str = "T",
+        name: Optional[str] = None,
+        max_states: Optional[int] = None,
+    ) -> CheckResult:
+        """Discharge ``spec [model= impl``.
+
+        ``T`` and ``F`` run on-the-fly unless the pipeline was built with
+        ``on_the_fly=False``; ``FD`` always materialises the implementation
+        (divergence detection needs its full tau graph).
+        """
+        if model not in ("T", "F", "FD"):
+            raise ValueError(
+                "model must be 'T' (traces), 'F' (failures) or 'FD' "
+                "(failures-divergences)"
+            )
+        label = name or "{!r} [{}= {!r}".format(spec, model, impl)
+        self.checks_run += 1
+        if model == "FD":
+            return check_fd_refinement(
+                self.compile(spec, max_states),
+                self.compile(impl, max_states),
+                label,
+            )
+        normalised_spec = self.normalised(spec, max_states)
+        implementation = (
+            self.lazy(impl, max_states)
+            if self.on_the_fly
+            else self.compile(impl, max_states)
+        )
+        if model == "T":
+            return check_trace_refinement_from(
+                normalised_spec, implementation, label
+            )
+        return check_failures_refinement_from(
+            normalised_spec, implementation, label
+        )
+
+    def property_check(
+        self,
+        process: Process,
+        property_name: str,
+        name: Optional[str] = None,
+        max_states: Optional[int] = None,
+    ) -> CheckResult:
+        """Discharge ``process :[property]`` (deadlock/divergence/determinism)."""
+        try:
+            checker = _PROPERTY_CHECKS[property_name]
+        except KeyError:
+            raise ValueError(
+                "unknown property {!r}; known: {}".format(
+                    property_name, sorted(_PROPERTY_CHECKS)
+                )
+            ) from None
+        label = name or "{!r} :[{}]".format(process, property_name)
+        self.checks_run += 1
+        return checker(self.compile(process, max_states), label)
+
+    # -- introspection -------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        """Cache and table statistics (for ``cspcheck --stats`` and tests)."""
+        stats = dict(self.cache.stats())
+        stats["interned_events"] = len(self.table)
+        stats["checks_run"] = self.checks_run
+        return stats
+
+
+#: Process-wide cache used by callers that have no natural pipeline scope
+#: (e.g. the conformance harness compiling one specification per suite run).
+_SHARED_CACHE = CompilationCache()
+
+
+def shared_cache() -> CompilationCache:
+    """The process-wide structural compilation cache."""
+    return _SHARED_CACHE

@@ -14,15 +14,24 @@ from .counterexample import (
     TraceCounterexample,
 )
 from .compress import bisimulation_classes, compression_ratio, minimise
-from .normalise import NormalisedSpec, minimal_sets, normalise, tau_cycle_states
+from .normalise import (
+    NormalisedSpec,
+    minimal_bitsets,
+    minimal_sets,
+    normalise,
+    tau_cycle_states,
+)
 from .refine import (
     CheckResult,
+    LazyImplementation,
     check_deadlock_free,
     check_deterministic,
     check_divergence_free,
     check_failures_refinement,
+    check_failures_refinement_from,
     check_fd_refinement,
     check_trace_refinement,
+    check_trace_refinement_from,
 )
 from .assertions import (
     Assertion,
@@ -44,6 +53,7 @@ __all__ = [
     "DeadlockCounterexample",
     "DivergenceCounterexample",
     "FailureCounterexample",
+    "LazyImplementation",
     "NondeterminismCounterexample",
     "NormalisedSpec",
     "PropertyAssertion",
@@ -55,14 +65,17 @@ __all__ = [
     "check_deterministic",
     "check_divergence_free",
     "check_failures_refinement",
+    "check_failures_refinement_from",
     "check_fd_refinement",
     "check_trace_refinement",
+    "check_trace_refinement_from",
     "deadlock_free",
     "deterministic",
     "divergence_free",
     "failures_refinement",
     "fd_refinement",
     "compression_ratio",
+    "minimal_bitsets",
     "minimal_sets",
     "minimise",
     "normalise",

@@ -13,6 +13,7 @@ from typing import Callable, List, Optional, Sequence
 
 from ..csp.lts import DEFAULT_STATE_LIMIT, LTS, compile_lts
 from ..csp.process import Environment, Process
+from ..engine.pipeline import VerificationPipeline
 from .refine import (
     CheckResult,
     check_fd_refinement,
@@ -30,7 +31,12 @@ class Assertion:
     def __init__(self, name: str) -> None:
         self.name = name
 
-    def check(self, env: Environment, max_states: int = DEFAULT_STATE_LIMIT) -> CheckResult:
+    def check(
+        self,
+        env: Environment,
+        max_states: int = DEFAULT_STATE_LIMIT,
+        pipeline: Optional[VerificationPipeline] = None,
+    ) -> CheckResult:
         raise NotImplementedError
 
     def __repr__(self) -> str:
@@ -58,14 +64,16 @@ class RefinementAssertion(Assertion):
         self.impl = impl
         self.model = model
 
-    def check(self, env: Environment, max_states: int = DEFAULT_STATE_LIMIT) -> CheckResult:
-        spec_lts = compile_lts(self.spec, env, max_states)
-        impl_lts = compile_lts(self.impl, env, max_states)
-        if self.model == "T":
-            return check_trace_refinement(spec_lts, impl_lts, self.name)
-        if self.model == "FD":
-            return check_fd_refinement(spec_lts, impl_lts, self.name)
-        return check_failures_refinement(spec_lts, impl_lts, self.name)
+    def check(
+        self,
+        env: Environment,
+        max_states: int = DEFAULT_STATE_LIMIT,
+        pipeline: Optional[VerificationPipeline] = None,
+    ) -> CheckResult:
+        pipe = pipeline or VerificationPipeline(env, max_states=max_states)
+        return pipe.refinement(
+            self.spec, self.impl, self.model, self.name, max_states
+        )
 
 
 class PropertyAssertion(Assertion):
@@ -88,18 +96,30 @@ class PropertyAssertion(Assertion):
         self.process = process
         self.property_name = property_name
 
-    def check(self, env: Environment, max_states: int = DEFAULT_STATE_LIMIT) -> CheckResult:
-        lts = compile_lts(self.process, env, max_states)
-        checker: Callable[..., CheckResult] = self._CHECKS[self.property_name]
-        return checker(lts, self.name)
+    def check(
+        self,
+        env: Environment,
+        max_states: int = DEFAULT_STATE_LIMIT,
+        pipeline: Optional[VerificationPipeline] = None,
+    ) -> CheckResult:
+        pipe = pipeline or VerificationPipeline(env, max_states=max_states)
+        return pipe.property_check(
+            self.process, self.property_name, self.name, max_states
+        )
 
 
 class Session:
-    """An FDR session: process equations plus assertions to discharge."""
+    """An FDR session: process equations plus assertions to discharge.
+
+    The session holds one :class:`VerificationPipeline`, so every assertion
+    it runs shares the interned alphabet and the compilation cache -- a spec
+    (or component) appearing in several assertions compiles once.
+    """
 
     def __init__(self, env: Optional[Environment] = None) -> None:
         self.env = env or Environment()
         self.assertions: List[Assertion] = []
+        self.pipeline = VerificationPipeline(self.env)
 
     def define(self, name: str, body: Process) -> "Session":
         self.env.bind(name, body)
@@ -123,7 +143,10 @@ class Session:
 
     def run(self, max_states: int = DEFAULT_STATE_LIMIT) -> List[CheckResult]:
         """Check every assertion in order; never raises on a failed verdict."""
-        return [assertion.check(self.env, max_states) for assertion in self.assertions]
+        return [
+            assertion.check(self.env, max_states, pipeline=self.pipeline)
+            for assertion in self.assertions
+        ]
 
     def report(self, max_states: int = DEFAULT_STATE_LIMIT) -> str:
         """Run all assertions and format an FDR-like textual report."""

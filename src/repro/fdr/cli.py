@@ -9,6 +9,8 @@ Usage::
     cspcheck model.csp                    # run the script's assertions
     cspcheck model.csp --max-states 1e6   # larger state budget
     cspcheck model.csp --quiet            # verdict summary only
+    cspcheck model.csp --eager            # materialise impls (no on-the-fly)
+    cspcheck model.csp --stats            # cache/alphabet statistics
 """
 
 from __future__ import annotations
@@ -18,6 +20,7 @@ import sys
 from typing import Optional, Sequence
 
 from ..cspm.evaluator import load_file
+from ..engine.pipeline import VerificationPipeline
 
 
 def build_arg_parser() -> argparse.ArgumentParser:
@@ -35,6 +38,16 @@ def build_arg_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--quiet", action="store_true", help="print only the final summary line"
     )
+    parser.add_argument(
+        "--eager",
+        action="store_true",
+        help="fully compile implementations instead of on-the-fly expansion",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print pipeline statistics (cache hits, interned events) at the end",
+    )
     return parser
 
 
@@ -44,7 +57,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if not model.assertions:
         sys.stderr.write("warning: script declares no assertions\n")
         return 0
-    results = model.check_assertions(max_states=int(args.max_states))
+    pipeline = VerificationPipeline(
+        model.env,
+        max_states=int(args.max_states),
+        on_the_fly=not args.eager,
+    )
+    results = model.check_assertions(
+        max_states=int(args.max_states), pipeline=pipeline
+    )
     failed = 0
     for result in results:
         if not result.passed:
@@ -54,6 +74,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     sys.stdout.write(
         "{}/{} assertions passed\n".format(len(results) - failed, len(results))
     )
+    if args.stats:
+        for key, value in sorted(pipeline.stats().items()):
+            sys.stdout.write("stat {}: {}\n".format(key, value))
     return 1 if failed else 0
 
 

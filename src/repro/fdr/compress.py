@@ -31,16 +31,16 @@ def bisimulation_classes(lts: LTS) -> List[FrozenSet[StateId]]:
         return []
     block_of: List[int] = [0] * lts.state_count
 
-    def signature(state: StateId) -> FrozenSet[Tuple[Event, int]]:
+    def signature(state: StateId) -> FrozenSet[Tuple[int, int]]:
         return frozenset(
-            (event, block_of[target]) for event, target in lts.successors(state)
+            (eid, block_of[target]) for eid, target in lts.successors_ids(state)
         )
 
     changed = True
     block_count = 1
     while changed:
         changed = False
-        signatures: Dict[Tuple[int, FrozenSet[Tuple[Event, int]]], int] = {}
+        signatures: Dict[Tuple[int, FrozenSet[Tuple[int, int]]], int] = {}
         new_block_of: List[int] = [0] * lts.state_count
         next_block = 0
         for state in lts.iter_states():
@@ -75,19 +75,19 @@ def minimise(lts: LTS) -> LTS:
         for state in members:
             class_index[state] = index
 
-    minimised = LTS()
+    minimised = LTS(lts.table)  # classes share the source's id space
     for members in classes:
         representative = min(members)
         minimised.add_state(lts.terms[representative])
     minimised.initial = class_index[lts.initial]
     for index, members in enumerate(classes):
         representative = min(members)
-        seen: Set[Tuple[Event, int]] = set()
-        for event, target in lts.successors(representative):
-            edge = (event, class_index[target])
+        seen: Set[Tuple[int, int]] = set()
+        for eid, target in lts.successors_ids(representative):
+            edge = (eid, class_index[target])
             if edge not in seen:
                 seen.add(edge)
-                minimised.add_transition(index, event, class_index[target])
+                minimised.add_transition_id(index, eid, class_index[target])
     return minimised
 
 

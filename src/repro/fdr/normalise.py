@@ -11,6 +11,11 @@ For the stable-failures model each normalised node additionally records the
 states inside the node.  An implementation failure ``(s, X)`` is allowed iff
 some minimal acceptance is contained in the events the implementation still
 offers.
+
+Internally the automaton is keyed on the interned event ids of the source
+LTS's :class:`~repro.csp.events.AlphabetTable` and acceptances are int
+bitsets; the Event-typed views (``afters``, ``acceptances``, ``after`` ...)
+decode through the table, so existing callers see the same API as before.
 """
 
 from __future__ import annotations
@@ -18,7 +23,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
-from ..csp.events import Event
+from ..csp.events import AlphabetTable, Event, TAU_ID
 from ..csp.lts import LTS, StateId
 
 NodeId = int
@@ -27,13 +32,15 @@ NodeId = int
 class NormalisedSpec:
     """A deterministic, tau-free automaton with acceptance annotations."""
 
-    def __init__(self) -> None:
+    def __init__(self, table: Optional[AlphabetTable] = None) -> None:
         self.initial: NodeId = 0
-        #: per-node transition function on visible events (tick included)
-        self.afters: List[Dict[Event, NodeId]] = []
-        #: per-node minimal acceptance sets; empty tuple means the node has no
-        #: stable states (the spec diverges there and refuses nothing stably)
-        self.acceptances: List[Tuple[FrozenSet[Event], ...]] = []
+        self.table: AlphabetTable = table if table is not None else AlphabetTable()
+        #: per-node transition function on interned visible-event ids
+        self.afters_ids: List[Dict[int, NodeId]] = []
+        #: per-node minimal acceptance bitsets (bit i = event with id i);
+        #: empty tuple means the node has no stable states (the spec diverges
+        #: there and refuses nothing stably)
+        self.acceptance_bits: List[Tuple[int, ...]] = []
         #: the subset of original spec states each node represents
         self.members: List[FrozenSet[StateId]] = []
         #: True when the node contains a state on a tau cycle
@@ -41,13 +48,34 @@ class NormalisedSpec:
 
     @property
     def node_count(self) -> int:
-        return len(self.afters)
+        return len(self.afters_ids)
+
+    # -- Event-typed views (the public API; decodes through the table) -------
+
+    @property
+    def afters(self) -> List[Dict[Event, NodeId]]:
+        event_of = self.table.event_of
+        return [
+            {event_of(eid): node for eid, node in row.items()}
+            for row in self.afters_ids
+        ]
+
+    @property
+    def acceptances(self) -> List[Tuple[FrozenSet[Event], ...]]:
+        decode = self.table.decode_bits
+        return [
+            tuple(decode(bits) for bits in row) for row in self.acceptance_bits
+        ]
 
     def after(self, node: NodeId, event: Event) -> Optional[NodeId]:
-        return self.afters[node].get(event)
+        eid = self.table.id_of(event)
+        if eid is None:
+            return None
+        return self.afters_ids[node].get(eid)
 
     def events(self, node: NodeId) -> FrozenSet[Event]:
-        return frozenset(self.afters[node])
+        event_of = self.table.event_of
+        return frozenset(event_of(eid) for eid in self.afters_ids[node])
 
     def allows_stable_refusal(self, node: NodeId, offered: FrozenSet[Event]) -> bool:
         """May the spec, at this node, stably offer no more than *offered*?
@@ -57,7 +85,15 @@ class NormalisedSpec:
         subset of what the implementation offers, so the implementation's
         refusal is also a spec refusal.
         """
-        return any(acceptance <= offered for acceptance in self.acceptances[node])
+        return self.allows_stable_refusal_bits(
+            node, self.table.encode_known(offered)
+        )
+
+    def allows_stable_refusal_bits(self, node: NodeId, offered_bits: int) -> bool:
+        """Bitset form of :meth:`allows_stable_refusal` (the engine hot path)."""
+        return any(
+            bits & ~offered_bits == 0 for bits in self.acceptance_bits[node]
+        )
 
 
 def minimal_sets(sets: Set[FrozenSet[Event]]) -> Tuple[FrozenSet[Event], ...]:
@@ -65,6 +101,25 @@ def minimal_sets(sets: Set[FrozenSet[Event]]) -> Tuple[FrozenSet[Event], ...]:
     kept: List[FrozenSet[Event]] = []
     for candidate in sorted(sets, key=lambda s: (len(s), sorted(str(e) for e in s))):
         if not any(existing <= candidate for existing in kept):
+            kept.append(candidate)
+    return tuple(kept)
+
+
+def minimal_bitsets(sets: Set[int], table: AlphabetTable) -> Tuple[int, ...]:
+    """Bitset analogue of :func:`minimal_sets`, same deterministic order."""
+
+    def sort_key(bits: int) -> Tuple[int, List[str]]:
+        keys = []
+        remaining = bits
+        while remaining:
+            low = remaining & -remaining
+            keys.append(table.sort_key(low.bit_length() - 1))
+            remaining ^= low
+        return (len(keys), sorted(keys))
+
+    kept: List[int] = []
+    for candidate in sorted(sets, key=sort_key):
+        if not any(existing & ~candidate == 0 for existing in kept):
             kept.append(candidate)
     return tuple(kept)
 
@@ -132,7 +187,8 @@ def tau_cycle_states(lts: LTS) -> FrozenSet[StateId]:
 
 def normalise(lts: LTS) -> NormalisedSpec:
     """Normalise an LTS: tau-closure plus subset construction with acceptances."""
-    spec = NormalisedSpec()
+    table = lts.table
+    spec = NormalisedSpec(table)
     divergent_states = tau_cycle_states(lts)
     node_index: Dict[FrozenSet[StateId], NodeId] = {}
 
@@ -140,18 +196,19 @@ def normalise(lts: LTS) -> NormalisedSpec:
         existing = node_index.get(members)
         if existing is not None:
             return existing
-        node = len(spec.afters)
+        node = len(spec.afters_ids)
         node_index[members] = node
-        spec.afters.append({})
+        spec.afters_ids.append({})
         spec.members.append(members)
         spec.divergent.append(any(state in divergent_states for state in members))
-        acceptance_sets: Set[FrozenSet[Event]] = set()
+        acceptance_sets: Set[int] = set()
         for state in members:
             if lts.is_stable(state):
-                acceptance_sets.add(
-                    frozenset(e for e, _ in lts.successors(state))
-                )
-        spec.acceptances.append(minimal_sets(acceptance_sets))
+                bits = 0
+                for eid, _ in lts.successors_ids(state):
+                    bits |= 1 << eid
+                acceptance_sets.add(bits)
+        spec.acceptance_bits.append(minimal_bitsets(acceptance_sets, table))
         return node
 
     start = lts.tau_closure(frozenset([lts.initial]))
@@ -164,16 +221,18 @@ def normalise(lts: LTS) -> NormalisedSpec:
         if node in expanded:
             continue
         expanded.add(node)
-        by_event: Dict[Event, Set[StateId]] = {}
+        by_event: Dict[int, Set[StateId]] = {}
         for state in members:
-            for event, target in lts.successors(state):
-                if event.is_tau():
+            for eid, target in lts.successors_ids(state):
+                if eid == TAU_ID:
                     continue
-                by_event.setdefault(event, set()).add(target)
-        for event, targets in sorted(by_event.items(), key=lambda kv: str(kv[0])):
+                by_event.setdefault(eid, set()).add(target)
+        for eid, targets in sorted(
+            by_event.items(), key=lambda kv: table.sort_key(kv[0])
+        ):
             closure = lts.tau_closure(frozenset(targets))
             known = closure in node_index
-            spec.afters[node][event] = node_of(closure)
+            spec.afters_ids[node][eid] = node_of(closure)
             if not known:
                 work.append(closure)
     return spec

@@ -1,27 +1,37 @@
 """The refinement engine -- product-automaton checks with counterexamples.
 
 This is the working core of the FDR substitute.  A refinement assertion
-``Spec [T= Impl`` is decided by simulating the implementation LTS against the
+``Spec [T= Impl`` is decided by simulating the implementation against the
 normalised specification: breadth-first search over pairs
 ``(implementation state, specification node)``; any implementation event the
 specification node cannot match is a violation, and the BFS parent pointers
 reconstruct the shortest counterexample trace -- the "insecure trace" of the
 paper's workflow.
 
+The implementation side is anything exposing the small automaton protocol
+(``initial``, ``successors_ids``, ``is_stable``, ``table``): either a fully
+compiled :class:`~repro.csp.lts.LTS` (the eager path) or a
+:class:`LazyImplementation`, which unfolds implementation states on demand
+from the operational semantics so the search can exit on the first violation
+without materialising the whole state space.
+
 Supported checks:
 
 * trace refinement ``[T=``  (the model the paper restricts itself to),
 * stable-failures refinement ``[F=`` (extension),
+* failures-divergences refinement ``[FD=``,
 * deadlock freedom, divergence freedom, determinism.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple, Union
 
-from ..csp.events import Event
-from ..csp.lts import LTS, StateId
+from ..csp.events import AlphabetTable, Event, TAU_ID, TICK_ID
+from ..csp.lts import DEFAULT_STATE_LIMIT, LTS, StateId, StateSpaceLimitExceeded
+from ..csp.process import Environment, Process
+from ..csp.semantics import transitions as sos_transitions
 from .counterexample import (
     Counterexample,
     DeadlockCounterexample,
@@ -34,6 +44,8 @@ from .normalise import NodeId, NormalisedSpec, normalise, tau_cycle_states
 
 Trace = Tuple[Event, ...]
 Pair = Tuple[StateId, NodeId]
+
+_MISSING = object()
 
 
 class CheckResult:
@@ -69,22 +81,128 @@ class CheckResult:
         return "CheckResult({!r}, passed={})".format(self.name, self.passed)
 
 
-class _ProductSearch:
-    """BFS over (implementation state, spec node) pairs with trace rebuild."""
+class LazyImplementation:
+    """On-the-fly implementation state space over the operational semantics.
 
-    def __init__(self, impl: LTS, spec: NormalisedSpec) -> None:
+    Exposes the same automaton protocol as a compiled :class:`LTS`
+    (``initial`` / ``successors_ids`` / ``is_stable`` / ``table``) but
+    expands each state's transitions only when the product search first asks
+    for them, memoising terms exactly like the eager compiler -- so the
+    reachable fragment it builds is state-for-state the prefix of the eager
+    LTS the search actually touches, and verdicts and counterexamples come
+    out identical.  Raises :class:`StateSpaceLimitExceeded` when expansion
+    would pass *max_states* distinct terms, mirroring ``compile_lts``.
+    """
+
+    def __init__(
+        self,
+        process: Process,
+        env: Optional[Environment] = None,
+        table: Optional[AlphabetTable] = None,
+        max_states: int = DEFAULT_STATE_LIMIT,
+    ) -> None:
+        self.env = env or Environment()
+        self.table = table if table is not None else AlphabetTable()
+        self.max_states = max_states
+        self.initial: StateId = 0
+        self._terms: List[Process] = [process]
+        self._index: Dict[Process, StateId] = {process: 0}
+        self._succ: List[Optional[List[Tuple[int, StateId]]]] = [None]
+
+    @property
+    def state_count(self) -> int:
+        """States discovered so far (grows as the search explores)."""
+        return len(self._terms)
+
+    def term_of(self, state: StateId) -> Process:
+        return self._terms[state]
+
+    def successors_ids(self, state: StateId) -> List[Tuple[int, StateId]]:
+        cached = self._succ[state]
+        if cached is not None:
+            return cached
+        intern = self.table.intern
+        edges: List[Tuple[int, StateId]] = []
+        for event, successor in sos_transitions(self._terms[state], self.env):
+            target = self._index.get(successor)
+            if target is None:
+                if len(self._terms) >= self.max_states:
+                    raise StateSpaceLimitExceeded(self.max_states)
+                target = len(self._terms)
+                self._index[successor] = target
+                self._terms.append(successor)
+                self._succ.append(None)
+            edges.append((intern(event), target))
+        self._succ[state] = edges
+        return edges
+
+    def successors(self, state: StateId) -> List[Tuple[Event, StateId]]:
+        event_of = self.table.event_of
+        return [(event_of(eid), t) for eid, t in self.successors_ids(state)]
+
+    def is_stable(self, state: StateId) -> bool:
+        return not any(eid == TAU_ID for eid, _ in self.successors_ids(state))
+
+
+#: Anything the product search can drive on the implementation side.
+Implementation = Union[LTS, LazyImplementation]
+
+
+class _ProductSearch:
+    """BFS over (implementation state, spec node) pairs with trace rebuild.
+
+    Works on interned ids throughout; when the implementation and the
+    specification share one :class:`AlphabetTable` (the pipeline's normal
+    case) no per-transition translation happens at all, otherwise ids are
+    translated lazily through a memo.
+    """
+
+    def __init__(self, impl: Implementation, spec: NormalisedSpec) -> None:
         self.impl = impl
         self.spec = spec
-        self.parents: Dict[Pair, Tuple[Optional[Pair], Optional[Event]]] = {}
+        self.shared_table = impl.table is spec.table
+        self._translate: Dict[int, Optional[int]] = {
+            TAU_ID: TAU_ID,
+            TICK_ID: TICK_ID,
+        }
+        self.parents: Dict[Pair, Tuple[Optional[Pair], Optional[int]]] = {}
         self.transitions_explored = 0
 
+    def _spec_id(self, eid: int) -> Optional[int]:
+        """Translate an impl-table event id to the spec table (None = unknown)."""
+        if self.shared_table:
+            return eid
+        cached = self._translate.get(eid, _MISSING)
+        if cached is not _MISSING:
+            return cached  # type: ignore[return-value]
+        sid = self.spec.table.id_of(self.impl.table.event_of(eid))
+        self._translate[eid] = sid
+        return sid
+
+    def offered_events(self, impl_state: StateId) -> FrozenSet[Event]:
+        """The events an implementation state offers, decoded."""
+        event_of = self.impl.table.event_of
+        return frozenset(
+            event_of(eid) for eid, _ in self.impl.successors_ids(impl_state)
+        )
+
+    def offered_spec_bits(self, impl_state: StateId) -> int:
+        """The same offer as a bitset in the spec table's id space."""
+        bits = 0
+        for eid, _ in self.impl.successors_ids(impl_state):
+            sid = self._spec_id(eid)
+            if sid is not None:
+                bits |= 1 << sid
+        return bits
+
     def trace_to(self, pair: Pair) -> Trace:
+        event_of = self.impl.table.event_of
         events: List[Event] = []
         cursor: Optional[Pair] = pair
         while cursor is not None:
-            parent, event = self.parents[cursor]
-            if event is not None and not event.is_tau():
-                events.append(event)
+            parent, eid = self.parents[cursor]
+            if eid is not None and eid != TAU_ID:
+                events.append(event_of(eid))
             cursor = parent
         events.reverse()
         return tuple(events)
@@ -98,6 +216,8 @@ class _ProductSearch:
         checked but not expanded (used by the FD check, where a divergent
         specification node permits every continuation).
         """
+        afters_ids = self.spec.afters_ids
+        event_of = self.impl.table.event_of
         start: Pair = (self.impl.initial, self.spec.initial)
         self.parents[start] = (None, None)
         work: deque = deque([start])
@@ -110,24 +230,32 @@ class _ProductSearch:
                     return violation
             if prune is not None and prune(pair):
                 continue
-            for event, target in self.impl.successors(impl_state):
+            for eid, target in self.impl.successors_ids(impl_state):
                 self.transitions_explored += 1
-                if event.is_tau():
+                if eid == TAU_ID:
                     next_pair: Pair = (target, node)
                 else:
-                    next_node = self.spec.after(node, event)
+                    sid = self._spec_id(eid)
+                    next_node = (
+                        afters_ids[node].get(sid) if sid is not None else None
+                    )
                     if next_node is None:
-                        return TraceCounterexample(self.trace_to(pair), event)
+                        return TraceCounterexample(
+                            self.trace_to(pair), event_of(eid)
+                        )
                     next_pair = (target, next_node)
                 if next_pair not in self.parents:
-                    self.parents[next_pair] = (pair, event)
+                    self.parents[next_pair] = (pair, eid)
                     work.append(next_pair)
         return None
 
 
-def check_trace_refinement(spec: LTS, impl: LTS, name: str = "Spec [T= Impl") -> CheckResult:
-    """Decide ``Spec ⊑T Impl`` (traces(Impl) ⊆ traces(Spec))."""
-    normalised = normalise(spec)
+def check_trace_refinement_from(
+    normalised: NormalisedSpec,
+    impl: Implementation,
+    name: str = "Spec [T= Impl",
+) -> CheckResult:
+    """Decide ``Spec ⊑T Impl`` against an already-normalised specification."""
     search = _ProductSearch(impl, normalised)
     violation = search.run()
     return CheckResult(
@@ -139,25 +267,27 @@ def check_trace_refinement(spec: LTS, impl: LTS, name: str = "Spec [T= Impl") ->
     )
 
 
-def check_failures_refinement(spec: LTS, impl: LTS, name: str = "Spec [F= Impl") -> CheckResult:
-    """Decide ``Spec ⊑F Impl`` in the stable-failures model.
-
-    Traces must refine, and every stable implementation state must offer a
-    superset of some minimal acceptance of the matching specification node.
-    """
-    normalised = normalise(spec)
+def check_failures_refinement_from(
+    normalised: NormalisedSpec,
+    impl: Implementation,
+    name: str = "Spec [F= Impl",
+) -> CheckResult:
+    """Decide ``Spec ⊑F Impl`` against an already-normalised specification."""
     search = _ProductSearch(impl, normalised)
 
     def stable_check(pair: Pair, trace_to) -> Optional[Counterexample]:
         impl_state, node = pair
         if not search.impl.is_stable(impl_state):
             return None
-        offered = frozenset(
-            event for event, _ in search.impl.successors(impl_state)
-        )
-        if normalised.allows_stable_refusal(node, offered):
+        if normalised.allows_stable_refusal_bits(
+            node, search.offered_spec_bits(impl_state)
+        ):
             return None
-        required = frozenset().union(*normalised.acceptances[node]) if normalised.acceptances[node] else frozenset()
+        offered = search.offered_events(impl_state)
+        acceptances = normalised.acceptances[node]
+        required = (
+            frozenset().union(*acceptances) if acceptances else frozenset()
+        )
         return FailureCounterexample(trace_to(pair), offered, required - offered)
 
     violation = search.run(on_pair=stable_check)
@@ -170,13 +300,28 @@ def check_failures_refinement(spec: LTS, impl: LTS, name: str = "Spec [F= Impl")
     )
 
 
+def check_trace_refinement(spec: LTS, impl: LTS, name: str = "Spec [T= Impl") -> CheckResult:
+    """Decide ``Spec ⊑T Impl`` (traces(Impl) ⊆ traces(Spec))."""
+    return check_trace_refinement_from(normalise(spec), impl, name)
+
+
+def check_failures_refinement(spec: LTS, impl: LTS, name: str = "Spec [F= Impl") -> CheckResult:
+    """Decide ``Spec ⊑F Impl`` in the stable-failures model.
+
+    Traces must refine, and every stable implementation state must offer a
+    superset of some minimal acceptance of the matching specification node.
+    """
+    return check_failures_refinement_from(normalise(spec), impl, name)
+
+
 def check_fd_refinement(spec: LTS, impl: LTS, name: str = "Spec [FD= Impl") -> CheckResult:
     """Decide ``Spec ⊑FD Impl`` in the failures-divergences model.
 
     Beyond the stable-failures conditions, the implementation may only
     diverge where the specification itself diverges; where the spec node is
     divergent it behaves chaotically and permits everything (so the search
-    prunes there, exactly as FDR does).
+    prunes there, exactly as FDR does).  Divergence detection needs the full
+    implementation tau graph, so this check always runs eagerly.
     """
     normalised = normalise(spec)
     impl_divergent = tau_cycle_states(impl)
@@ -190,13 +335,14 @@ def check_fd_refinement(spec: LTS, impl: LTS, name: str = "Spec [FD= Impl") -> C
             return DivergenceCounterexample(trace_to(pair))
         if not search.impl.is_stable(impl_state):
             return None
-        offered = frozenset(event for event, _ in search.impl.successors(impl_state))
-        if normalised.allows_stable_refusal(node, offered):
+        if normalised.allows_stable_refusal_bits(
+            node, search.offered_spec_bits(impl_state)
+        ):
             return None
+        offered = search.offered_events(impl_state)
+        acceptances = normalised.acceptances[node]
         required = (
-            frozenset().union(*normalised.acceptances[node])
-            if normalised.acceptances[node]
-            else frozenset()
+            frozenset().union(*acceptances) if acceptances else frozenset()
         )
         return FailureCounterexample(trace_to(pair), offered, required - offered)
 
@@ -212,7 +358,7 @@ def check_fd_refinement(spec: LTS, impl: LTS, name: str = "Spec [FD= Impl") -> C
 
 def _bfs_with_parents(lts: LTS):
     """BFS over a single LTS yielding parent pointers for trace reconstruction."""
-    parents: Dict[StateId, Tuple[Optional[StateId], Optional[Event]]] = {
+    parents: Dict[StateId, Tuple[Optional[StateId], Optional[int]]] = {
         lts.initial: (None, None)
     }
     order: List[StateId] = []
@@ -220,20 +366,20 @@ def _bfs_with_parents(lts: LTS):
     while work:
         state = work.popleft()
         order.append(state)
-        for event, target in lts.successors(state):
+        for eid, target in lts.successors_ids(state):
             if target not in parents:
-                parents[target] = (state, event)
+                parents[target] = (state, eid)
                 work.append(target)
     return parents, order
 
 
-def _trace_from_parents(parents, state: StateId) -> Trace:
+def _trace_from_parents(parents, state: StateId, table: AlphabetTable) -> Trace:
     events: List[Event] = []
     cursor: Optional[StateId] = state
     while cursor is not None:
-        parent, event = parents[cursor]
-        if event is not None and not event.is_tau():
-            events.append(event)
+        parent, eid = parents[cursor]
+        if eid is not None and eid != TAU_ID:
+            events.append(table.event_of(eid))
         cursor = parent
     events.reverse()
     return tuple(events)
@@ -244,10 +390,11 @@ def check_deadlock_free(lts: LTS, name: str = "deadlock free") -> CheckResult:
     parents, order = _bfs_with_parents(lts)
     transitions = 0
     for state in order:
-        transitions += len(lts.successors(state))
-        if lts.successors(state):
+        edges = lts.successors_ids(state)
+        transitions += len(edges)
+        if edges:
             continue
-        trace = _trace_from_parents(parents, state)
+        trace = _trace_from_parents(parents, state, lts.table)
         # a state reached by tick is the successfully-terminated state, which
         # is not a deadlock
         if trace and trace[-1].is_tick():
@@ -266,13 +413,15 @@ def check_divergence_free(lts: LTS, name: str = "divergence free") -> CheckResul
     """No reachable cycle of tau transitions (no livelock)."""
     divergent = tau_cycle_states(lts)
     parents, order = _bfs_with_parents(lts)
-    transitions = sum(len(lts.successors(s)) for s in order)
+    transitions = sum(len(lts.successors_ids(s)) for s in order)
     for state in order:
         if state in divergent:
             return CheckResult(
                 name,
                 False,
-                DivergenceCounterexample(_trace_from_parents(parents, state)),
+                DivergenceCounterexample(
+                    _trace_from_parents(parents, state, lts.table)
+                ),
                 states_explored=len(order),
                 transitions_explored=transitions,
             )

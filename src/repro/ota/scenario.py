@@ -21,7 +21,7 @@ from typing import List, NamedTuple, Optional, Tuple
 from ..canbus import CanBus, Scheduler, TraceLog
 from ..capl import CaplNode
 from ..csp.events import Event
-from ..csp.lts import compile_lts
+from ..engine.pipeline import VerificationPipeline
 from ..fdr.refine import CheckResult
 from ..translator import ChannelConvention, NetworkBuilder
 from .capl_sources import ECU_FLAWED_SOURCE, ECU_SOURCE, VMG_SOURCE
@@ -120,7 +120,8 @@ def run_workflow(
     # stage 4: replay the simulated bus trace against the extracted model,
     # with timer events free to occur (they are internal to the nodes)
     system = model.process("SYSTEM_DATA" if "SYSTEM_DATA" in model.env else "SYSTEM")
-    lts = compile_lts(system, model.env, max_states)
+    pipeline = VerificationPipeline(model.env, max_states=max_states)
+    lts = pipeline.compile(system)
     admitted = lts.walk(_simulation_events(log)) is not None
 
     return WorkflowReport(

@@ -259,9 +259,12 @@ def feasible_attacks(
     system can perform end-to-end is a feasible attack (a counterexample to
     the 'no attack' claim).  Returns the feasible sequences, shortest first.
     """
-    from ..csp.lts import compile_lts
+    from ..engine.pipeline import VerificationPipeline, shared_cache
 
-    lts = compile_lts(system, env or Environment(), max_states)
+    pipeline = VerificationPipeline(
+        env or Environment(), cache=shared_cache(), max_states=max_states
+    )
+    lts = pipeline.compile(system)
     feasible: List[Trace] = []
     for attack_sequence in sorted(tree.sequences(), key=lambda s: (len(s), str(s))):
         if lts.walk(list(attack_sequence)) is not None:

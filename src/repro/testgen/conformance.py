@@ -20,9 +20,10 @@ from ..canbus import CanBus, CanFrame, Scheduler
 from ..capl import CaplNode
 from ..capl.interpreter import MessageSpec
 from ..csp.events import Event
-from ..csp.lts import LTS, compile_lts
+from ..csp.lts import LTS
 from ..csp.process import Environment, Process
 from ..csp.traces import format_trace
+from ..engine.pipeline import VerificationPipeline, shared_cache
 
 Trace = Tuple[Event, ...]
 
@@ -109,7 +110,12 @@ def run_suite(
     max_states: int = 200_000,
 ) -> ConformanceReport:
     """Run a whole generated suite against a CAPL implementation."""
-    spec_lts = compile_lts(specification, env or Environment(), max_states)
+    # the process-wide cache makes repeated suite runs against the same
+    # specification (e.g. a mutation sweep) compile the spec exactly once
+    pipeline = VerificationPipeline(
+        env or Environment(), cache=shared_cache(), max_states=max_states
+    )
+    spec_lts = pipeline.compile(specification)
     verdicts = [
         run_test(
             ecu_source, test, message_specs, spec_lts, in_channel, out_channel

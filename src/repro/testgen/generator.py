@@ -24,7 +24,6 @@ from typing import Dict, List, Optional, Tuple
 from ..csp.events import Event
 from ..csp.lts import LTS
 from ..csp.process import Environment, Process
-from ..csp.lts import compile_lts
 from ..fdr.normalise import NodeId, NormalisedSpec, normalise
 
 Trace = Tuple[Event, ...]
@@ -36,7 +35,12 @@ def _normalised(model, env: Optional[Environment]) -> NormalisedSpec:
     if isinstance(model, LTS):
         return normalise(model)
     if isinstance(model, Process):
-        return normalise(compile_lts(model, env or Environment()))
+        from ..engine.pipeline import VerificationPipeline, shared_cache
+
+        pipeline = VerificationPipeline(
+            env or Environment(), cache=shared_cache()
+        )
+        return pipeline.normalised(model)
     raise TypeError("expected a Process, LTS or NormalisedSpec")
 
 

@@ -34,6 +34,7 @@ from .rules import (
     ChannelConvention,
     ProcessRenderer,
     TranslationError,
+    relax_bus_order,
     selector_process_name,
 )
 from .templates import CSPM_TEMPLATES, TemplateGroup
@@ -218,7 +219,8 @@ class ModelExtractor:
         start_behaviour_text: Optional[str] = None
 
         for handler in collector.handlers:
-            behaviour = builder.of_block(handler.body)
+            # widen multi-output handlers to admit transmit-queue arbitration
+            behaviour = relax_bus_order(builder.of_block(handler.body))
             if handler.kind in ("start", "preStart"):
                 rendered = renderer.render(
                     behaviour, main_name, self._qualified(node_name, "ONSTART")

@@ -166,6 +166,138 @@ class Loop(Behaviour):
         return "Loop({!r})".format(self.body)
 
 
+#: Enumeration guards for :func:`relax_bus_order`.  Behaviours past these
+#: sizes fall back to the coarse any-order over-approximation.
+MAX_RELAX_PATHS = 64
+MAX_RELAX_VARIANTS = 256
+
+
+def relax_bus_order(behaviour: Behaviour) -> Behaviour:
+    """Over-approximate CAN transmit-queue arbitration.
+
+    ``output()`` does not put a frame on the bus -- it queues it, and queued
+    frames win the bus by arbitration (lowest CAN id first), not in program
+    order.  A handler that queues two or more frames can therefore emit them
+    in an order different from its ``output`` calls, and a model pinning the
+    program order would reject real behaviour (an unsound extraction).
+
+    Execution paths queuing >= 2 outputs are widened to the external choice
+    of every permutation of their outputs; non-output actions keep their
+    positions.  Handlers whose paths queue at most one frame each are
+    returned unchanged (arbitration cannot reorder a single frame), so the
+    common request/response shape renders exactly as before.  Behaviours too
+    large to enumerate -- loops that transmit, or combinatorial blow-ups --
+    fall back to :func:`_any_action_order`, a coarser but still sound
+    over-approximation.
+    """
+    outputs = [action for action in behaviour.actions() if isinstance(action, Output)]
+    if len(outputs) < 2:
+        return behaviour
+    paths = _action_paths(behaviour)
+    if paths is None:
+        return _any_action_order(behaviour)
+    widened: List[Behaviour] = []
+    signatures: Set[str] = set()
+    reordered = False
+    for path in paths:
+        variants = _output_permutations(path)
+        if variants is None or len(signatures) + len(variants) > MAX_RELAX_VARIANTS:
+            return _any_action_order(behaviour)
+        if len(variants) > 1:
+            reordered = True
+        for variant in variants:
+            signature = repr(variant)
+            if signature not in signatures:
+                signatures.add(signature)
+                widened.append(Seq(variant))
+    if not reordered:
+        # every path queues at most one frame: nothing to relax, keep the
+        # original tree shape (and thus the original rendered text)
+        return behaviour
+    if len(widened) == 1:
+        return widened[0]
+    return Choice(widened)
+
+
+def _action_paths(behaviour: Behaviour) -> Optional[List[List[Behaviour]]]:
+    """All execution paths as sequences of atomic items (Act/Loop nodes).
+
+    Loops that never transmit are kept as atomic path items; a transmitting
+    loop (unbounded queue) or a path blow-up returns None.
+    """
+    if isinstance(behaviour, Empty):
+        return [[]]
+    if isinstance(behaviour, Act):
+        return [[behaviour]]
+    if isinstance(behaviour, Loop):
+        if any(isinstance(action, Output) for action in behaviour.actions()):
+            return None
+        return [[behaviour]]
+    if isinstance(behaviour, Seq):
+        combined: List[List[Behaviour]] = [[]]
+        for item in behaviour.items:
+            item_paths = _action_paths(item)
+            if item_paths is None:
+                return None
+            combined = [head + tail for head in combined for tail in item_paths]
+            if len(combined) > MAX_RELAX_PATHS:
+                return None
+        return combined
+    if isinstance(behaviour, Choice):
+        merged: List[List[Behaviour]] = []
+        for branch in behaviour.branches:
+            branch_paths = _action_paths(branch)
+            if branch_paths is None:
+                return None
+            merged.extend(branch_paths)
+            if len(merged) > MAX_RELAX_PATHS:
+                return None
+        return merged
+    raise TranslationError(
+        "unknown behaviour node {!r}".format(type(behaviour).__name__)
+    )
+
+
+def _output_permutations(path: List[Behaviour]) -> Optional[List[List[Behaviour]]]:
+    """One path per distinct ordering of the path's queued outputs."""
+    import itertools
+
+    positions = [
+        index
+        for index, item in enumerate(path)
+        if isinstance(item, Act) and isinstance(item.action, Output)
+    ]
+    if len(positions) < 2:
+        return [path]
+    messages = [path[index].action.message for index in positions]
+    orderings = sorted(set(itertools.permutations(messages)))
+    if len(orderings) > MAX_RELAX_VARIANTS:
+        return None
+    variants: List[List[Behaviour]] = []
+    for ordering in orderings:
+        variant = list(path)
+        for index, message in zip(positions, ordering):
+            variant[index] = Act(Output(message))
+        variants.append(variant)
+    return variants
+
+
+def _any_action_order(behaviour: Behaviour) -> Behaviour:
+    """Coarse fallback: any finite sequence of the behaviour's actions."""
+    distinct: List[Action] = []
+    for action in behaviour.actions():
+        if action not in distinct:
+            distinct.append(action)
+    if not distinct:
+        return Empty()
+    body: Behaviour = (
+        Act(distinct[0])
+        if len(distinct) == 1
+        else Choice([Act(action) for action in distinct])
+    )
+    return Loop(body)
+
+
 def may_be_silent(behaviour: Behaviour) -> bool:
     """True if some execution path through the behaviour performs no action."""
     if isinstance(behaviour, Empty):
