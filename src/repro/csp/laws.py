@@ -127,6 +127,27 @@ def law_interrupt_associative(
     return Interrupt(Interrupt(p, q), r), Interrupt(p, Interrupt(q, r))
 
 
+#: Operand signature per law: each character is one operand -- ``p`` a
+#: process, ``A`` an alphabet.  The property-based oracles use this to
+#: instantiate any registered law with generated operands; keep it in sync
+#: with :data:`LAWS`.
+LAW_OPERANDS: Dict[str, str] = {
+    "choice-commutative": "pp",
+    "choice-associative": "ppp",
+    "choice-idempotent": "p",
+    "choice-unit": "p",
+    "internal-external-trace-equal": "pp",
+    "interleave-commutative": "pp",
+    "interleave-associative": "ppp",
+    "parallel-commutative": "ppA",
+    "seq-skip-left-unit": "p",
+    "seq-associative": "ppp",
+    "stop-seq": "p",
+    "interrupt-stop-unit": "p",
+    "stop-interrupt": "p",
+    "interrupt-associative": "ppp",
+}
+
 #: A registry of the unary/binary/ternary laws, so the test-suite and the
 #: documentation can enumerate them.
 LAWS: Dict[str, LawBody] = {

@@ -95,6 +95,22 @@ class NormalisedSpec:
             bits & ~offered_bits == 0 for bits in self.acceptance_bits[node]
         )
 
+    def as_lts(self) -> LTS:
+        """View the normalised automaton as a (deterministic, tau-free) LTS.
+
+        Shares this spec's alphabet table.  Used by the quickcheck oracle
+        that checks normalisation is idempotent at the trace level:
+        re-normalising ``as_lts()`` must not change the trace behaviour.
+        """
+        lts = LTS(self.table)
+        for _ in range(self.node_count):
+            lts.add_state()
+        for node, row in enumerate(self.afters_ids):
+            for eid, target in row.items():
+                lts.add_transition_id(node, eid, target)
+        lts.initial = self.initial
+        return lts
+
 
 def minimal_sets(sets: Set[FrozenSet[Event]]) -> Tuple[FrozenSet[Event], ...]:
     """Keep only the subset-minimal elements, in a deterministic order."""

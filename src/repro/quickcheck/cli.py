@@ -1,0 +1,130 @@
+"""``cspfuzz`` -- the differential fuzzing campaign CLI.
+
+    cspfuzz --oracle all --seed 42 --budget 500 [--corpus DIR]
+    cspfuzz --list
+    cspfuzz --replay tests/corpus            # or a single .json file
+
+Runs a budgeted campaign over the oracle registry, shrinks every violation
+to a locally minimal repro, optionally persists the shrunk failures as
+corpus files, and exits nonzero on any violation -- so it slots straight
+into CI as a smoke job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from .oracles import ORACLES, get_oracles
+from .runner import run_campaign
+from .shrink import DEFAULT_SHRINK_BUDGET
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="cspfuzz",
+        description="differential fuzzing of the CSP verification toolchain",
+    )
+    parser.add_argument(
+        "--oracle",
+        default="all",
+        help="'all' or a comma-separated oracle list (default: all)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="campaign seed (default: 0)"
+    )
+    parser.add_argument(
+        "--budget",
+        type=int,
+        default=500,
+        help="total number of test cases across all oracles (default: 500)",
+    )
+    parser.add_argument(
+        "--corpus",
+        metavar="DIR",
+        default=None,
+        help="write shrunk failures into this directory as replayable JSON",
+    )
+    parser.add_argument(
+        "--max-shrink",
+        type=int,
+        default=DEFAULT_SHRINK_BUDGET,
+        help="cap on shrink attempts per failure (default: {})".format(
+            DEFAULT_SHRINK_BUDGET
+        ),
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list the registered oracles and exit"
+    )
+    parser.add_argument(
+        "--replay",
+        metavar="PATH",
+        default=None,
+        help="replay a corpus file or directory instead of fuzzing",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="only print the final summary"
+    )
+    return parser
+
+
+def _list_oracles() -> int:
+    width = max(len(name) for name in ORACLES)
+    for name in sorted(ORACLES):
+        oracle = ORACLES[name]
+        print("{:<{}}  {}".format(name, width, oracle.description))
+        print("{:<{}}  guards: {}".format("", width, oracle.guards))
+    return 0
+
+
+def _replay(path: str) -> int:
+    from .corpus import replay_directory, replay_file
+
+    if os.path.isdir(path):
+        rows = replay_directory(path)
+        if not rows:
+            print("no corpus files under {}".format(path))
+            return 0
+    else:
+        rows = [(path,) + replay_file(path)]
+    failures = 0
+    for file_path, green, message in rows:
+        verdict = "ok" if green else "FAIL"
+        print("{:<4} {}".format(verdict, file_path))
+        if not green:
+            failures += 1
+            print("     {}".format(message))
+    print(
+        "{} corpus file(s), {} failing".format(len(rows), failures)
+    )
+    return 1 if failures else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list:
+        return _list_oracles()
+    if args.replay is not None:
+        return _replay(args.replay)
+    try:
+        oracles = get_oracles(args.oracle)
+    except KeyError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    progress = None if args.quiet else lambda line: print(line, flush=True)
+    report = run_campaign(
+        oracles,
+        seed=args.seed,
+        budget=args.budget,
+        corpus_dir=args.corpus,
+        shrink_budget=args.max_shrink,
+        progress=progress,
+    )
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

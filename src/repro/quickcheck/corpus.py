@@ -1,0 +1,140 @@
+"""Corpus files: shrunk failures persisted for replay and regression.
+
+A corpus file records one oracle input -- normally the shrunk form of a
+failure a campaign found -- together with the oracle that judged it and the
+seeds that produced it.  Two consumers:
+
+* ``cspfuzz --corpus DIR`` writes one file per shrunk failure, and
+  ``cspfuzz --replay PATH`` re-runs them (the CI smoke job uploads the
+  directory as an artifact on failure);
+* ``tests/corpus/`` pins inputs that once exposed real bugs; the tier-1
+  suite replays every file through its recorded oracle and each must stay
+  green forever.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional, Tuple
+
+from .oracles import ORACLES
+from .serialise import decode_value, encode_value
+
+FORMAT_VERSION = 1
+
+
+class CorpusCase:
+    """One parsed corpus file."""
+
+    def __init__(
+        self,
+        oracle: str,
+        value: Any,
+        seed: Optional[int] = None,
+        message: str = "",
+        path: Optional[str] = None,
+    ) -> None:
+        self.oracle = oracle
+        self.value = value
+        self.seed = seed
+        self.message = message
+        self.path = path
+
+    def replay(self) -> Optional[str]:
+        """Re-run the recorded oracle; the violation message, or None."""
+        try:
+            oracle = ORACLES[self.oracle]
+        except KeyError:
+            return "corpus file {} names unknown oracle {!r}".format(
+                self.path, self.oracle
+            )
+        return oracle.violation(self.value)
+
+    def __repr__(self) -> str:
+        return "CorpusCase(oracle={!r}, path={!r})".format(self.oracle, self.path)
+
+
+def case_document(
+    oracle: str, value: Any, seed: Optional[int] = None, message: str = ""
+) -> Dict[str, Any]:
+    return {
+        "format": FORMAT_VERSION,
+        "oracle": oracle,
+        "seed": seed,
+        "message": message,
+        "input": encode_value(value),
+    }
+
+
+def write_case(
+    directory: str,
+    oracle: str,
+    value: Any,
+    seed: Optional[int] = None,
+    message: str = "",
+    stem: Optional[str] = None,
+) -> str:
+    """Write one corpus file; returns its path."""
+    os.makedirs(directory, exist_ok=True)
+    name = "{}.json".format(stem or "{}-{}".format(oracle, seed))
+    path = os.path.join(directory, name)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(case_document(oracle, value, seed, message), handle, indent=2)
+        handle.write("\n")
+    return path
+
+
+def write_failure(directory: str, failure) -> str:
+    """Persist a :class:`~repro.quickcheck.runner.FuzzFailure`'s shrunk input."""
+    return write_case(
+        directory,
+        failure.oracle,
+        failure.shrunk,
+        seed=failure.case_seed,
+        message=failure.message,
+    )
+
+
+def load_case(path: str) -> CorpusCase:
+    with open(path, "r", encoding="utf-8") as handle:
+        doc = json.load(handle)
+    if doc.get("format") != FORMAT_VERSION:
+        raise ValueError(
+            "corpus file {} has unsupported format {!r}".format(
+                path, doc.get("format")
+            )
+        )
+    return CorpusCase(
+        doc["oracle"],
+        decode_value(doc["input"]),
+        seed=doc.get("seed"),
+        message=doc.get("message", ""),
+        path=path,
+    )
+
+
+def corpus_files(directory: str) -> List[str]:
+    if not os.path.isdir(directory):
+        return []
+    return sorted(
+        os.path.join(directory, name)
+        for name in os.listdir(directory)
+        if name.endswith(".json")
+    )
+
+
+def replay_file(path: str) -> Tuple[bool, str]:
+    """Replay one corpus file: (still green, message)."""
+    case = load_case(path)
+    message = case.replay()
+    if message is None:
+        return True, "ok"
+    return False, message
+
+
+def replay_directory(directory: str) -> List[Tuple[str, bool, str]]:
+    """Replay every corpus file in *directory*: (path, green, message) rows."""
+    return [
+        (path,) + replay_file(path) for path in corpus_files(directory)
+    ]

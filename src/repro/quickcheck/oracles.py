@@ -1,0 +1,511 @@
+"""The differential-oracle registry.
+
+Each oracle pairs a seeded input generator with a *differential check*: two
+independent computations of the same semantic fact that must agree.  A bug
+in either side -- the engine, the normaliser, the emitter, the extractor --
+shows up as a disagreement on some generated input, without anyone having
+to predict the bug in advance.  This is the quickcheck analogue of the
+conformance step in "Learn, Check, Test" (PAPERS.md): the code paths most
+likely to hide soundness bugs are checked against redundant definitions.
+
+The matrix (see ``docs/testing.md``):
+
+========== ==============================================================
+oracle      disagreement it detects
+========== ==============================================================
+laws        an algebraic law of CSP fails on the trace semantics
+semantics   operational (LTS) and denotational trace sets diverge
+normalise   normalisation loses traces, nondeterminism, or determinism
+refinement  engine ``[T=`` verdict differs from the subset definition
+lazy-eager  on-the-fly and eager refinement disagree (verdict or cex)
+cache       a compilation-cache hit changes a verdict or counterexample
+roundtrip   emitting CSPm and re-parsing changes the trace semantics
+extractor   the CAPL interpreter exhibits a trace the extracted model lacks
+========== ==============================================================
+
+Every check raises :class:`OracleViolation` on disagreement and
+:class:`Discard` on inputs outside its precondition (treated as a pass, the
+``assume`` of classic QuickCheck).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..csp.events import Alphabet, Channel, Event
+from ..csp.laws import LAW_OPERANDS, LAWS, check_law
+from ..csp.lts import compile_lts, reachable_visible_traces
+from ..csp.process import Process
+from ..csp.traces import denotational_traces
+from ..engine import VerificationPipeline
+from ..fdr.counterexample import FailureCounterexample, TraceCounterexample
+from ..fdr.normalise import NormalisedSpec, normalise
+from . import gen as g
+from .gen import CaplProgram, Gen
+
+#: Trace bound for the process-term oracles: long enough to distinguish the
+#: operators at the generated depths, small enough to enumerate.
+BOUND = 4
+
+
+class Discard(Exception):
+    """The generated (or shrunk) input falls outside the oracle's precondition."""
+
+
+class OracleViolation(AssertionError):
+    """A differential check disagreed -- the fuzzer found a real divergence."""
+
+
+class Oracle:
+    """A named differential check with its input generator."""
+
+    def __init__(
+        self,
+        name: str,
+        description: str,
+        guards: str,
+        generator: Gen,
+        check: Callable[[object], None],
+    ) -> None:
+        self.name = name
+        self.description = description
+        #: the module(s) whose correctness this oracle cross-checks
+        self.guards = guards
+        self.generator = generator
+        self.check = check
+
+    def generate(self, rng: random.Random):
+        return self.generator(rng)
+
+    def run_one(self, rng: random.Random) -> Optional[str]:
+        """Generate one input and check it; the violation message, or None."""
+        value = self.generate(rng)
+        return self.violation(value)
+
+    def violation(self, value) -> Optional[str]:
+        """Run the check on an explicit input; the violation message, or None."""
+        try:
+            self.check(value)
+        except Discard:
+            return None
+        except OracleViolation as failure:
+            return str(failure)
+        return None
+
+    def fails_on(self, value) -> bool:
+        """Shrinking predicate: does the oracle reject this input?"""
+        try:
+            return self.violation(value) is not None
+        except Exception:
+            # a candidate that crashes the toolchain outright is a different
+            # defect; the shrinker must not wander onto it
+            return False
+
+    def __repr__(self) -> str:
+        return "Oracle({!r})".format(self.name)
+
+
+# -- shared generator pieces --------------------------------------------------------
+
+_EVENTS = g.DEFAULT_EVENTS
+_SIGMA = Alphabet(_EVENTS)
+_PROCESSES = g.process_terms(_EVENTS)
+
+
+def _traces(term: Process, bound: int = BOUND):
+    return denotational_traces(term, None, bound)
+
+
+# -- oracle: algebraic laws ---------------------------------------------------------
+
+
+def _law_input() -> Gen:
+    """A (law-name, operands) pair; operands follow LAW_OPERANDS signatures."""
+
+    def draw(rng: random.Random):
+        name = sorted(LAWS)[rng.randrange(len(LAWS))]
+        operands = tuple(
+            _PROCESSES(rng) if kind == "p" else g.sub_alphabets(_EVENTS)(rng)
+            for kind in LAW_OPERANDS[name]
+        )
+        return (name, operands)
+
+    return Gen(draw)
+
+
+def check_laws(value) -> None:
+    name, operands = value
+    if name not in LAWS or len(operands) != len(LAW_OPERANDS[name]):
+        raise Discard
+    for kind, operand in zip(LAW_OPERANDS[name], operands):
+        if kind == "p" and not isinstance(operand, Process):
+            raise Discard
+        if kind == "A" and not isinstance(operand, Alphabet):
+            raise Discard
+    if not check_law(name, *operands, max_length=BOUND):
+        raise OracleViolation(
+            "law {!r} fails on operands {!r}".format(name, operands)
+        )
+
+
+# -- oracle: operational vs denotational traces -------------------------------------
+
+
+def check_semantics(term: Process) -> None:
+    operational = reachable_visible_traces(compile_lts(term), BOUND)
+    denotational = _traces(term)
+    if operational != denotational:
+        raise OracleViolation(
+            "trace models disagree on {!r}: operational-only {}, "
+            "denotational-only {}".format(
+                term,
+                sorted(operational - denotational),
+                sorted(denotational - operational),
+            )
+        )
+
+
+# -- oracle: normalisation ----------------------------------------------------------
+
+
+def _normalised_traces(spec: NormalisedSpec, max_length: int):
+    results = {()}
+    frontier = [((), spec.initial)]
+    for _ in range(max_length):
+        next_frontier = []
+        for trace, node in frontier:
+            for evt, target in spec.afters[node].items():
+                extended = trace + (evt,)
+                if extended not in results:
+                    results.add(extended)
+                    if not evt.is_tick():
+                        next_frontier.append((extended, target))
+        frontier = next_frontier
+    return results
+
+
+def check_normalise(term: Process) -> None:
+    lts = compile_lts(term)
+    spec = normalise(lts)
+    # tau-free and (by the dict type) deterministic
+    for node in range(spec.node_count):
+        if any(evt.is_tau() for evt in spec.afters[node]):
+            raise OracleViolation(
+                "normalised automaton of {!r} has a tau transition".format(term)
+            )
+    # the construction is deterministic: same input, same automaton
+    again = normalise(lts)
+    if (
+        spec.afters_ids != again.afters_ids
+        or spec.acceptance_bits != again.acceptance_bits
+        or spec.members != again.members
+    ):
+        raise OracleViolation(
+            "normalising {!r} twice produced different automata".format(term)
+        )
+    # trace-equivalent to the source term
+    normalised = _normalised_traces(spec, BOUND)
+    denotational = _traces(term)
+    if normalised != denotational:
+        raise OracleViolation(
+            "normalisation changed the traces of {!r}: normalised-only {}, "
+            "denotational-only {}".format(
+                term,
+                sorted(normalised - denotational),
+                sorted(denotational - normalised),
+            )
+        )
+    # idempotent at the trace level: re-normalising the determinised
+    # automaton neither grows the node count nor changes the traces
+    renormalised = normalise(spec.as_lts())
+    if renormalised.node_count > spec.node_count:
+        raise OracleViolation(
+            "re-normalising the automaton of {!r} grew it from {} to {} "
+            "nodes".format(term, spec.node_count, renormalised.node_count)
+        )
+    if _normalised_traces(renormalised, BOUND) != normalised:
+        raise OracleViolation(
+            "normalisation is not idempotent on {!r}".format(term)
+        )
+
+
+# -- oracle: engine verdict vs refinement definition --------------------------------
+
+
+def check_refinement(value) -> None:
+    spec, impl = value
+    pipeline = VerificationPipeline()
+    verdict = pipeline.refinement(spec, impl, "T")
+    spec_traces = _traces(spec, BOUND + 1)
+    impl_traces = _traces(impl, BOUND + 1)
+    definition = impl_traces <= spec_traces
+    if verdict.passed != definition:
+        raise OracleViolation(
+            "engine says {!r} [T= {!r} is {}, the subset definition says "
+            "{}".format(spec, impl, verdict.passed, definition)
+        )
+    if not verdict.passed:
+        violating = verdict.counterexample.full_trace
+        bound = len(violating)
+        if violating not in denotational_traces(impl, None, bound):
+            raise OracleViolation(
+                "counterexample {} is not a trace of the implementation "
+                "{!r}".format(violating, impl)
+            )
+        if violating in denotational_traces(spec, None, bound):
+            raise OracleViolation(
+                "counterexample {} is permitted by the specification "
+                "{!r}".format(violating, spec)
+            )
+
+
+# -- oracle: lazy vs eager refinement -----------------------------------------------
+
+
+def _lazy_eager_input() -> Gen:
+    return g.tuples(_PROCESSES, _PROCESSES, g.sampled_from(["T", "F"]))
+
+
+def _genuine_counterexample(spec: Process, impl: Process, result, label: str) -> None:
+    cex = result.counterexample
+    if isinstance(cex, TraceCounterexample):
+        violating = cex.full_trace
+        bound = len(violating)
+        if violating not in denotational_traces(impl, None, bound):
+            raise OracleViolation(
+                "{} counterexample {} is not an implementation trace of "
+                "{!r}".format(label, violating, impl)
+            )
+        if violating in denotational_traces(spec, None, bound):
+            raise OracleViolation(
+                "{} counterexample {} is permitted by the specification "
+                "{!r}".format(label, violating, spec)
+            )
+    elif isinstance(cex, FailureCounterexample):
+        bound = len(cex.trace)
+        if cex.trace not in denotational_traces(impl, None, bound):
+            raise OracleViolation(
+                "{} failure counterexample after {} is not an implementation "
+                "trace of {!r}".format(label, cex.trace, impl)
+            )
+
+
+def check_lazy_eager(value) -> None:
+    spec, impl, model = value
+    if model not in ("T", "F"):
+        raise Discard
+    lazy = VerificationPipeline(on_the_fly=True).refinement(spec, impl, model)
+    eager = VerificationPipeline(on_the_fly=False).refinement(spec, impl, model)
+    if lazy.passed != eager.passed:
+        raise OracleViolation(
+            "{!r} [{}= {!r}: on-the-fly says {}, eager says {}".format(
+                spec, model, impl, lazy.passed, eager.passed
+            )
+        )
+    if not lazy.passed:
+        _genuine_counterexample(spec, impl, lazy, "on-the-fly")
+        _genuine_counterexample(spec, impl, eager, "eager")
+
+
+# -- oracle: compilation cache ------------------------------------------------------
+
+
+def check_cache(value) -> None:
+    p, q, r = value
+    # overlapping pairs force cache hits on the shared sides
+    pairs = [(p, q), (p, r), (q, r), (p, q)]
+    shared = VerificationPipeline()
+    for model in ("T", "F"):
+        for spec, impl in pairs:
+            cached = shared.refinement(spec, impl, model)
+            cold = VerificationPipeline().refinement(spec, impl, model)
+            if cached.passed != cold.passed:
+                raise OracleViolation(
+                    "cache changed the {!r} [{}= {!r} verdict: shared-cache "
+                    "run says {}, cold run says {}".format(
+                        spec, model, impl, cached.passed, cold.passed
+                    )
+                )
+            if not cached.passed:
+                _genuine_counterexample(spec, impl, cached, "shared-cache")
+                _genuine_counterexample(spec, impl, cold, "cold")
+
+
+# -- oracle: CSPm emit/parse round-trip ---------------------------------------------
+
+_SEND = Channel("send", ["reqSw", "rptSw"])
+_REC = Channel("rec", ["reqSw", "rptSw"])
+_CHANNEL_EVENTS = tuple(_SEND.events()) + tuple(_REC.events())
+_ROUNDTRIP_HEADER = "datatype msgs = reqSw | rptSw\nchannel send, rec : msgs\n"
+
+
+def check_roundtrip(term: Process) -> None:
+    from ..cspm import emit_process, load
+
+    text = _ROUNDTRIP_HEADER + "P = " + emit_process(
+        term, {"send": _SEND, "rec": _REC}
+    )
+    model = load(text)
+    reloaded = model.env.resolve("P")
+    original = _traces(term)
+    reparsed = denotational_traces(reloaded, model.env, BOUND)
+    if original != reparsed:
+        raise OracleViolation(
+            "emit/parse round-trip changed the traces of {!r}; emitted text: "
+            "{}".format(term, text.splitlines()[-1])
+        )
+
+
+# -- oracle: CAPL interpreter replay vs extracted model -----------------------------
+
+from ..capl.interpreter import MessageSpec  # noqa: E402  (placed with its oracle)
+
+_CAPL_SPECS: Dict[str, MessageSpec] = {
+    "reqA": MessageSpec(0x201, 1),
+    "reqB": MessageSpec(0x202, 1),
+    "rspX": MessageSpec(0x301, 1),
+    "rspY": MessageSpec(0x302, 1),
+}
+
+
+def simulate_capl(source: str, stimuli: Sequence[str]) -> List[Event]:
+    """Run the program on the simulated bus; the observed CSP-style trace."""
+    from ..canbus import CanBus, CanFrame, Scheduler
+    from ..capl import CaplNode
+
+    scheduler = Scheduler()
+    bus = CanBus(scheduler)
+    node = CaplNode("ECU", bus, source, _CAPL_SPECS)
+    trace: List[Event] = []
+    for request in stimuli:
+        spec = _CAPL_SPECS[request]
+        before = len(bus.log)
+        node.deliver(CanFrame(spec.can_id, [0] * spec.dlc, name=request))
+        scheduler.run()  # flush this handler's transmissions
+        trace.append(Event("send", (request,)))
+        for entry in bus.log.entries[before:]:
+            trace.append(Event("rec", (entry.frame.name,)))
+    return trace
+
+
+def check_extractor(value) -> None:
+    from ..translator import ModelExtractor
+
+    program, stimuli = value
+    if not isinstance(program, CaplProgram) or not program.handlers:
+        raise Discard
+    handled = set(program.handled())
+    if any(request not in handled for request in stimuli):
+        # shrinking may drop the handler a stimulus targets; such inputs are
+        # outside the oracle's precondition, not failures
+        raise Discard
+    source = program.render()
+    result = ModelExtractor().extract(source, "ECU")
+    model = result.load()
+    lts = compile_lts(model.process("ECU"), model.env, max_states=100_000)
+    trace = simulate_capl(source, stimuli)
+    if lts.walk(trace) is None:
+        raise OracleViolation(
+            "extracted model rejects a real behaviour of the program: trace "
+            "{} of\n{}".format([str(e) for e in trace], source)
+        )
+
+
+# -- the registry -------------------------------------------------------------------
+
+ORACLES: Dict[str, Oracle] = {}
+
+
+def _register(oracle: Oracle) -> Oracle:
+    ORACLES[oracle.name] = oracle
+    return oracle
+
+
+_register(
+    Oracle(
+        "laws",
+        "every registered algebraic law holds as bounded trace equivalence",
+        "repro.csp.laws, repro.csp.traces",
+        _law_input(),
+        check_laws,
+    )
+)
+_register(
+    Oracle(
+        "semantics",
+        "operational (LTS) and denotational trace sets agree",
+        "repro.csp.semantics, repro.csp.lts, repro.csp.traces",
+        _PROCESSES,
+        check_semantics,
+    )
+)
+_register(
+    Oracle(
+        "normalise",
+        "normalisation is deterministic, tau-free, trace-preserving and idempotent",
+        "repro.fdr.normalise",
+        _PROCESSES,
+        check_normalise,
+    )
+)
+_register(
+    Oracle(
+        "refinement",
+        "engine [T= verdict and counterexample match the subset definition",
+        "repro.fdr.refine, repro.engine.pipeline",
+        g.process_pairs(_EVENTS),
+        check_refinement,
+    )
+)
+_register(
+    Oracle(
+        "lazy-eager",
+        "on-the-fly and eager refinement agree on verdicts and counterexamples",
+        "repro.fdr.refine (LazyImplementation), repro.engine.pipeline",
+        _lazy_eager_input(),
+        check_lazy_eager,
+    )
+)
+_register(
+    Oracle(
+        "cache",
+        "compilation-cache hits never change a verdict or counterexample",
+        "repro.engine.cache",
+        g.tuples(_PROCESSES, _PROCESSES, _PROCESSES),
+        check_cache,
+    )
+)
+_register(
+    Oracle(
+        "roundtrip",
+        "CSPm emit -> parse -> evaluate preserves the trace semantics",
+        "repro.cspm.emitter, repro.cspm.parser, repro.cspm.evaluator",
+        g.process_terms(_CHANNEL_EVENTS),
+        check_roundtrip,
+    )
+)
+_register(
+    Oracle(
+        "extractor",
+        "every simulated CAPL behaviour is admitted by the extracted model",
+        "repro.translator.extractor, repro.capl.interpreter",
+        g.capl_cases(),
+        check_extractor,
+    )
+)
+
+
+def get_oracles(spec: str = "all") -> List[Oracle]:
+    """Resolve ``--oracle`` syntax: ``all`` or a comma-separated name list."""
+    if spec == "all":
+        return [ORACLES[name] for name in sorted(ORACLES)]
+    oracles = []
+    for name in spec.split(","):
+        name = name.strip()
+        if name not in ORACLES:
+            raise KeyError(
+                "unknown oracle {!r}; known: {}".format(name, ", ".join(sorted(ORACLES)))
+            )
+        oracles.append(ORACLES[name])
+    return oracles

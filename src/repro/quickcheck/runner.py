@@ -1,0 +1,157 @@
+"""The budgeted fuzzing campaign behind ``cspfuzz``.
+
+A campaign spreads a case budget round-robin across the selected oracles.
+Every case derives its own ``random.Random`` from the campaign seed, the
+oracle name and the case index, so a single ``--seed`` reproduces the whole
+campaign and any individual failure replays from the numbers printed in its
+report.  Failures are shrunk to local minima before being reported (and,
+with a corpus directory, persisted as replayable JSON files).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .oracles import Oracle
+from .shrink import DEFAULT_SHRINK_BUDGET, shrink
+
+
+def derive_seed(campaign_seed: int, oracle_name: str, case_index: int) -> int:
+    """A stable per-case seed: independent of Python hash randomisation."""
+    material = "{}:{}:{}".format(campaign_seed, oracle_name, case_index)
+    digest = hashlib.sha256(material.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class FuzzFailure:
+    """One shrunk oracle violation, with everything needed to replay it."""
+
+    def __init__(
+        self,
+        oracle: str,
+        campaign_seed: int,
+        case_index: int,
+        case_seed: int,
+        original,
+        shrunk,
+        message: str,
+    ) -> None:
+        self.oracle = oracle
+        self.campaign_seed = campaign_seed
+        self.case_index = case_index
+        self.case_seed = case_seed
+        self.original = original
+        self.shrunk = shrunk
+        self.message = message
+
+    def describe(self) -> str:
+        return (
+            "oracle {!r} violated (campaign seed {}, case {}, case seed {})\n"
+            "  shrunk input: {!r}\n"
+            "  {}".format(
+                self.oracle,
+                self.campaign_seed,
+                self.case_index,
+                self.case_seed,
+                self.shrunk,
+                self.message,
+            )
+        )
+
+    def __repr__(self) -> str:
+        return "FuzzFailure(oracle={!r}, case_seed={})".format(
+            self.oracle, self.case_seed
+        )
+
+
+class CampaignReport:
+    """Outcome of one campaign: case counts and shrunk failures per oracle."""
+
+    def __init__(self, seed: int, budget: int) -> None:
+        self.seed = seed
+        self.budget = budget
+        self.cases_run: Dict[str, int] = {}
+        self.failures: List[FuzzFailure] = []
+        self.elapsed = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        lines = [
+            "cspfuzz campaign: seed {}, {} cases in {:.2f}s".format(
+                self.seed, sum(self.cases_run.values()), self.elapsed
+            )
+        ]
+        for name in sorted(self.cases_run):
+            count = sum(1 for f in self.failures if f.oracle == name)
+            verdict = "ok" if count == 0 else "{} FAILURE(S)".format(count)
+            lines.append(
+                "  {:<12} {:>5} cases  {}".format(name, self.cases_run[name], verdict)
+            )
+        for failure in self.failures:
+            lines.append(failure.describe())
+        return "\n".join(lines)
+
+
+def run_campaign(
+    oracles: Sequence[Oracle],
+    seed: int,
+    budget: int,
+    corpus_dir: Optional[str] = None,
+    shrink_budget: int = DEFAULT_SHRINK_BUDGET,
+    max_failures_per_oracle: int = 3,
+    progress: Optional[Callable[[str], None]] = None,
+) -> CampaignReport:
+    """Run *budget* cases round-robin over *oracles*.
+
+    Shrinks every violation to a local minimum; with *corpus_dir*, each
+    shrunk failure is also written as a replayable corpus file.  An oracle
+    that has already produced *max_failures_per_oracle* failures stops
+    consuming budget (one bug tends to fail many random cases; the spare
+    budget goes to the other oracles).
+    """
+    if not oracles:
+        raise ValueError("a campaign needs at least one oracle")
+    report = CampaignReport(seed, budget)
+    started = time.perf_counter()
+    failed_counts: Dict[str, int] = {o.name: 0 for o in oracles}
+    active = list(oracles)
+    case_index = 0
+    while case_index < budget and active:
+        oracle = active[case_index % len(active)]
+        case_seed = derive_seed(seed, oracle.name, case_index)
+        rng = random.Random(case_seed)
+        value = oracle.generate(rng)
+        message = oracle.violation(value)
+        report.cases_run[oracle.name] = report.cases_run.get(oracle.name, 0) + 1
+        if message is not None:
+            shrunk = shrink(value, oracle.fails_on, shrink_budget)
+            failure = FuzzFailure(
+                oracle.name,
+                seed,
+                case_index,
+                case_seed,
+                value,
+                shrunk,
+                oracle.violation(shrunk) or message,
+            )
+            report.failures.append(failure)
+            if corpus_dir is not None:
+                from .corpus import write_failure
+
+                path = write_failure(corpus_dir, failure)
+                if progress is not None:
+                    progress("wrote corpus file {}".format(path))
+            if progress is not None:
+                progress(failure.describe())
+            failed_counts[oracle.name] += 1
+            if failed_counts[oracle.name] >= max_failures_per_oracle:
+                active = [o for o in active if o.name != oracle.name]
+        case_index += 1
+    report.elapsed = time.perf_counter() - started
+    return report

@@ -1,0 +1,205 @@
+"""Greedy structural shrinking of failing fuzz inputs.
+
+When an oracle reports a violation, the raw random input is usually noisy:
+a six-operator process term where a two-event prefix would do, or a CAPL
+program with three handlers when one statement triggers the bug.  The
+shrinker walks a deterministic candidate order -- smaller terms first --
+and greedily commits to any candidate that still fails, repeating until no
+candidate fails.  The result is *locally minimal*: every one-step
+simplification of the reported input makes the failure disappear, which is
+exactly the property that makes a counterexample readable.
+
+Determinism matters as much as minimality: the candidate order depends only
+on the input's structure, so shrinking the same failure twice yields the
+same repro (the pinned regression tests rely on this).
+
+Values shrink by type:
+
+* objects exposing a ``shrink_candidates()`` method (e.g.
+  :class:`~repro.quickcheck.gen.CaplProgram`) delegate to it;
+* :class:`~repro.csp.process.Process` terms shrink to ``STOP`` / ``SKIP``,
+  to any subterm (hoisting), by simplifying one child in place, or by
+  thinning a synchronisation / hiding set;
+* tuples shrink elementwise (fixed arity -- oracle inputs are tuples);
+* lists shrink by dropping an element, then elementwise;
+* ints shrink toward zero;
+* everything else (strings, events, ...) is atomic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Tuple
+
+from ..csp.events import Alphabet
+from ..csp.process import (
+    ExternalChoice,
+    GenParallel,
+    Hiding,
+    Interleave,
+    Interrupt,
+    InternalChoice,
+    Omega,
+    Prefix,
+    Process,
+    Renaming,
+    SKIP,
+    STOP,
+    SeqComp,
+    Skip,
+    Stop,
+)
+
+#: Default cap on predicate evaluations per shrink run.  Greedy descent on
+#: the small inputs the generators produce converges far below this; the cap
+#: only guards against pathological predicates.
+DEFAULT_SHRINK_BUDGET = 2000
+
+
+def process_children(term: Process) -> Tuple[Process, ...]:
+    """The direct ``Process`` subterms of *term*, in construction order."""
+    if isinstance(term, Prefix):
+        return (term.continuation,)
+    if isinstance(term, (ExternalChoice, InternalChoice, Interleave)):
+        return (term.left, term.right)
+    if isinstance(term, GenParallel):
+        return (term.left, term.right)
+    if isinstance(term, SeqComp):
+        return (term.first, term.second)
+    if isinstance(term, Interrupt):
+        return (term.primary, term.handler)
+    if isinstance(term, (Hiding, Renaming)):
+        return (term.process,)
+    return ()
+
+
+def rebuild_process(term: Process, children: Tuple[Process, ...]) -> Process:
+    """Rebuild *term* with its ``Process`` children replaced."""
+    if isinstance(term, Prefix):
+        return Prefix(term.event, children[0])
+    if isinstance(term, ExternalChoice):
+        return ExternalChoice(children[0], children[1])
+    if isinstance(term, InternalChoice):
+        return InternalChoice(children[0], children[1])
+    if isinstance(term, Interleave):
+        return Interleave(children[0], children[1])
+    if isinstance(term, GenParallel):
+        return GenParallel(children[0], children[1], term.sync)
+    if isinstance(term, SeqComp):
+        return SeqComp(children[0], children[1])
+    if isinstance(term, Interrupt):
+        return Interrupt(children[0], children[1])
+    if isinstance(term, Hiding):
+        return Hiding(children[0], term.hidden)
+    if isinstance(term, Renaming):
+        return Renaming(children[0], dict(term.mapping))
+    return term
+
+
+def _alphabet_candidates(alphabet: Alphabet) -> Iterator[Alphabet]:
+    """Thinner alphabets: drop one event at a time, in deterministic order."""
+    events = list(alphabet)  # Alphabet iterates in sorted order
+    for index in range(len(events)):
+        yield Alphabet(events[:index] + events[index + 1 :])
+
+
+def _process_candidates(term: Process) -> Iterator[Process]:
+    if isinstance(term, (Stop, Skip, Omega)):
+        return
+    # the two smallest terms first: most failures bottom out on one of them
+    yield STOP
+    yield SKIP
+    children = process_children(term)
+    # hoist any subterm over the whole term
+    for child in children:
+        yield child
+    # thin the synchronisation / hiding set
+    if isinstance(term, GenParallel):
+        for smaller in _alphabet_candidates(term.sync):
+            yield GenParallel(term.left, term.right, smaller)
+    if isinstance(term, Hiding):
+        for smaller in _alphabet_candidates(term.hidden):
+            yield Hiding(term.process, smaller)
+    # simplify one child in place
+    for index, child in enumerate(children):
+        for smaller in _process_candidates(child):
+            replaced = children[:index] + (smaller,) + children[index + 1 :]
+            yield rebuild_process(term, replaced)
+
+
+def shrink_candidates(value) -> Iterator:
+    """One-step simplifications of *value*, in deterministic order."""
+    method = getattr(value, "shrink_candidates", None)
+    if method is not None and not isinstance(value, type):
+        yield from method()
+        return
+    if isinstance(value, Process):
+        yield from _process_candidates(value)
+        return
+    if isinstance(value, Alphabet):
+        yield from _alphabet_candidates(value)
+        return
+    if isinstance(value, tuple):
+        items = list(value)
+        for index, item in enumerate(items):
+            for smaller in shrink_candidates(item):
+                yield tuple(items[:index] + [smaller] + items[index + 1 :])
+        return
+    if isinstance(value, list):
+        for index in range(len(value)):
+            yield value[:index] + value[index + 1 :]
+        for index, item in enumerate(value):
+            for smaller in shrink_candidates(item):
+                yield value[:index] + [smaller] + value[index + 1 :]
+        return
+    if isinstance(value, bool):
+        return  # bool is an int; don't "shrink" flags
+    if isinstance(value, int):
+        if value != 0:
+            yield 0
+        if abs(value) > 1:
+            yield value // 2
+            yield value - 1 if value > 0 else value + 1
+        return
+    # strings, events, floats, None ... are atomic
+
+
+def shrink(
+    value,
+    is_failing: Callable[[object], bool],
+    budget: int = DEFAULT_SHRINK_BUDGET,
+):
+    """Greedily minimise *value* while ``is_failing`` stays true.
+
+    *is_failing* must already be true of *value* (the caller observed the
+    failure); it is expected to swallow its own exceptions -- any candidate
+    that raises is simply not a failure of the same kind.  Returns the
+    locally minimal failing value.
+    """
+    current = value
+    remaining = budget
+    improved = True
+    while improved and remaining > 0:
+        improved = False
+        for candidate in shrink_candidates(current):
+            if remaining <= 0:
+                break
+            remaining -= 1
+            if is_failing(candidate):
+                current = candidate
+                improved = True
+                break
+    return current
+
+
+def is_locally_minimal(
+    value, is_failing: Callable[[object], bool], budget: int = DEFAULT_SHRINK_BUDGET
+) -> bool:
+    """True if no one-step simplification of *value* still fails."""
+    remaining = budget
+    for candidate in shrink_candidates(value):
+        if remaining <= 0:
+            break
+        remaining -= 1
+        if is_failing(candidate):
+            return False
+    return True

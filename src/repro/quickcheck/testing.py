@@ -1,0 +1,93 @@
+"""Pytest-facing property runner: seeded, shrinking, replayable.
+
+The randomized test files call :func:`for_all` with a generator and a
+checking function.  Each case draws its input from a ``random.Random``
+derived from the session seed (the ``repro_seed`` fixture in
+``tests/conftest.py``), the property name and the case index; on failure
+the input is shrunk to a local minimum and the raised ``AssertionError``
+carries everything needed to reproduce:
+
+    property 'choice-commutative' failed (case 17)
+      shrunk input: (SKIP, a -> STOP)
+      ...
+      replay this exact run with: REPRO_SEED=123456789 python -m pytest ...
+
+Unlike Hypothesis, there is no hidden database and no global state: the
+session seed alone determines every generated input.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional
+
+from .gen import Gen
+from .oracles import Discard
+from .runner import derive_seed
+from .shrink import DEFAULT_SHRINK_BUDGET, shrink
+
+
+class PropertyFailure(AssertionError):
+    """A property failed; the message embeds the shrunk repro and the seed."""
+
+    def __init__(
+        self, name: str, seed: int, case_index: int, shrunk, cause: BaseException
+    ) -> None:
+        self.shrunk = shrunk
+        self.seed = seed
+        self.case_index = case_index
+        message = (
+            "property {!r} failed (session seed {}, case {})\n"
+            "  shrunk input: {!r}\n"
+            "  failure: {}: {}\n"
+            "  replay this exact run with: REPRO_SEED={} python -m pytest".format(
+                name,
+                seed,
+                case_index,
+                shrunk,
+                type(cause).__name__,
+                cause,
+                seed,
+            )
+        )
+        super().__init__(message)
+
+
+def for_all(
+    generator: Gen,
+    check: Callable[[object], None],
+    *,
+    seed: int,
+    name: str,
+    cases: int = 60,
+    shrink_budget: int = DEFAULT_SHRINK_BUDGET,
+) -> None:
+    """Run *check* on *cases* generated inputs; shrink and raise on failure.
+
+    *check* signals failure by raising (``assert`` inside it is the normal
+    style) and may raise :class:`~repro.quickcheck.oracles.Discard` to skip
+    inputs outside its precondition.  The per-case RNG is derived from
+    ``(seed, name, case_index)``, so a test's inputs are independent of every
+    other test and of execution order.
+    """
+
+    def failure_of(value) -> Optional[BaseException]:
+        try:
+            check(value)
+        except Discard:
+            return None
+        except Exception as error:  # noqa: BLE001 -- any failure counts
+            return error
+        return None
+
+    for case_index in range(cases):
+        rng = random.Random(derive_seed(seed, name, case_index))
+        value = generator(rng)
+        error = failure_of(value)
+        if error is None:
+            continue
+        shrunk = shrink(
+            value, lambda candidate: failure_of(candidate) is not None, shrink_budget
+        )
+        final_error = failure_of(shrunk) or error
+        raise PropertyFailure(name, seed, case_index, shrunk, final_error) from error

@@ -1,200 +1,121 @@
 """Property-based tests: the algebraic laws of CSP on random process terms.
 
-Hypothesis generates random finite process terms; every registered law from
-:mod:`repro.csp.laws` must hold as bounded trace equivalence, and a clutch of
-model-level invariants (prefix closure, refinement partial order) must hold
-for every generated process.
+The shared :mod:`repro.quickcheck` generators produce random finite process
+terms; every registered law from :mod:`repro.csp.laws` must hold as bounded
+trace equivalence, and a clutch of model-level invariants (prefix closure,
+refinement partial order) must hold for every generated process.  Failures
+print the session seed and a shrunk repro; replay with ``REPRO_SEED``.
 """
 
-import hypothesis.strategies as st
-from hypothesis import given, settings
+import pytest
 
 from repro.csp import (
-    Alphabet,
-    ExternalChoice,
-    GenParallel,
     Hiding,
-    Interleave,
-    InternalChoice,
     Prefix,
-    SKIP,
     STOP,
-    SeqComp,
     compile_lts,
     denotational_traces,
     event,
     reachable_visible_traces,
 )
-from repro.csp.laws import (
-    LAWS,
-    check_law,
-    traces_equal,
+from repro.csp.laws import LAW_OPERANDS, LAWS, check_law, traces_equal
+from repro.quickcheck import (
+    DEFAULT_EVENTS,
+    for_all,
+    process_terms,
+    sub_alphabets,
+    tuples,
 )
 
-EVENTS = [event("a"), event("b"), event("c")]
-FULL_ALPHABET = Alphabet(EVENTS)
-
-
-def processes(max_depth: int = 3):
-    """Strategy generating small closed process terms (no recursion)."""
-    base = st.sampled_from([STOP, SKIP])
-
-    def extend(children):
-        return st.one_of(
-            st.builds(Prefix, st.sampled_from(EVENTS), children),
-            st.builds(ExternalChoice, children, children),
-            st.builds(InternalChoice, children, children),
-            st.builds(SeqComp, children, children),
-            st.builds(Interleave, children, children),
-            st.builds(
-                GenParallel,
-                children,
-                children,
-                st.sampled_from(
-                    [Alphabet(), Alphabet.of(EVENTS[0]), FULL_ALPHABET]
-                ),
-            ),
-            st.builds(
-                Hiding, children, st.sampled_from([Alphabet.of(EVENTS[0]), Alphabet()])
-            ),
-        )
-
-    return st.recursive(base, extend, max_leaves=max_depth)
-
-
+EVENTS = DEFAULT_EVENTS
 BOUND = 4
 
-
-@settings(max_examples=60, deadline=None)
-@given(p=processes(), q=processes())
-def test_choice_commutative(p, q):
-    assert check_law("choice-commutative", p, q, max_length=BOUND)
+PROCESSES = process_terms(EVENTS)
+ALPHABETS = sub_alphabets(EVENTS)
 
 
-@settings(max_examples=40, deadline=None)
-@given(p=processes(), q=processes(), r=processes())
-def test_choice_associative(p, q, r):
-    assert check_law("choice-associative", p, q, r, max_length=BOUND)
+def _operand_gen(signature):
+    return tuples(
+        *(PROCESSES if kind == "p" else ALPHABETS for kind in signature)
+    )
 
 
-@settings(max_examples=60, deadline=None)
-@given(p=processes())
-def test_choice_idempotent(p):
-    assert check_law("choice-idempotent", p, max_length=BOUND)
+@pytest.mark.parametrize("law_name", sorted(LAWS))
+def test_law_holds_on_random_operands(law_name, repro_seed):
+    """Each registered law, instantiated with random operands, must hold."""
+    signature = LAW_OPERANDS[law_name]
+    bound = 3 if len(signature) >= 3 else BOUND
+    for_all(
+        _operand_gen(signature),
+        lambda operands: _assert_law(law_name, operands, bound),
+        seed=repro_seed,
+        name="law-" + law_name,
+        cases=30 if len(signature) >= 3 else 50,
+    )
 
 
-@settings(max_examples=60, deadline=None)
-@given(p=processes())
-def test_choice_unit(p):
-    assert check_law("choice-unit", p, max_length=BOUND)
-
-
-@settings(max_examples=60, deadline=None)
-@given(p=processes(), q=processes())
-def test_internal_external_trace_equal(p, q):
-    assert check_law("internal-external-trace-equal", p, q, max_length=BOUND)
-
-
-@settings(max_examples=50, deadline=None)
-@given(p=processes(), q=processes())
-def test_interleave_commutative(p, q):
-    assert check_law("interleave-commutative", p, q, max_length=BOUND)
-
-
-@settings(max_examples=30, deadline=None)
-@given(p=processes(max_depth=2), q=processes(max_depth=2), r=processes(max_depth=2))
-def test_interleave_associative(p, q, r):
-    assert check_law("interleave-associative", p, q, r, max_length=3)
-
-
-@settings(max_examples=50, deadline=None)
-@given(
-    p=processes(),
-    q=processes(),
-    sync=st.sampled_from([Alphabet(), Alphabet.of(EVENTS[0]), FULL_ALPHABET]),
-)
-def test_parallel_commutative(p, q, sync):
-    assert check_law("parallel-commutative", p, q, sync, max_length=BOUND)
-
-
-@settings(max_examples=60, deadline=None)
-@given(p=processes())
-def test_seq_skip_left_unit(p):
-    assert check_law("seq-skip-left-unit", p, max_length=BOUND)
-
-
-@settings(max_examples=30, deadline=None)
-@given(p=processes(max_depth=2), q=processes(max_depth=2), r=processes(max_depth=2))
-def test_seq_associative(p, q, r):
-    assert check_law("seq-associative", p, q, r, max_length=3)
-
-
-@settings(max_examples=60, deadline=None)
-@given(p=processes())
-def test_stop_seq_is_stop(p):
-    assert check_law("stop-seq", p, max_length=BOUND)
+def _assert_law(law_name, operands, bound):
+    assert check_law(law_name, *operands, max_length=bound), law_name
 
 
 # -- model-level invariants -------------------------------------------------------
 
 
-@settings(max_examples=60, deadline=None)
-@given(p=processes())
-def test_trace_sets_are_prefix_closed(p):
-    traces = denotational_traces(p, max_length=BOUND)
-    for trace in traces:
-        for cut in range(len(trace)):
-            assert trace[:cut] in traces
+def test_trace_sets_are_prefix_closed(repro_seed):
+    def check(p):
+        traces = denotational_traces(p, max_length=BOUND)
+        for trace in traces:
+            for cut in range(len(trace)):
+                assert trace[:cut] in traces
+
+    for_all(PROCESSES, check, seed=repro_seed, name="prefix-closed")
 
 
-@settings(max_examples=60, deadline=None)
-@given(p=processes())
-def test_empty_trace_always_present(p):
-    assert () in denotational_traces(p, max_length=BOUND)
-
-
-@settings(max_examples=40, deadline=None)
-@given(p=processes())
-def test_operational_equals_denotational(p):
-    lts = compile_lts(p)
-    assert reachable_visible_traces(lts, BOUND) == denotational_traces(
-        p, max_length=BOUND
+def test_empty_trace_always_present(repro_seed):
+    for_all(
+        PROCESSES,
+        lambda p: _assert_empty_trace(p),
+        seed=repro_seed,
+        name="empty-trace",
     )
 
 
-@settings(max_examples=40, deadline=None)
-@given(p=processes())
-def test_hiding_everything_leaves_only_tick_traces(p):
-    hidden = Hiding(p, FULL_ALPHABET)
-    traces = denotational_traces(hidden, max_length=BOUND)
-    for trace in traces:
-        assert all(e.is_tick() for e in trace)
+def _assert_empty_trace(p):
+    assert () in denotational_traces(p, max_length=BOUND)
 
 
-def test_every_registered_law_has_a_test():
-    """Keep this module in sync with the law registry."""
-    module_source = open(__file__, encoding="utf-8").read()
-    for name in LAWS:
-        assert '"{}"'.format(name) in module_source, name
+def test_operational_equals_denotational(repro_seed):
+    def check(p):
+        lts = compile_lts(p)
+        assert reachable_visible_traces(lts, BOUND) == denotational_traces(
+            p, max_length=BOUND
+        )
+
+    for_all(PROCESSES, check, seed=repro_seed, name="op-vs-denot", cases=40)
+
+
+def test_hiding_everything_leaves_only_tick_traces(repro_seed):
+    from repro.csp import Alphabet
+
+    full = Alphabet(EVENTS)
+
+    def check(p):
+        hidden = Hiding(p, full)
+        for trace in denotational_traces(hidden, max_length=BOUND):
+            assert all(e.is_tick() for e in trace)
+
+    for_all(PROCESSES, check, seed=repro_seed, name="hide-all", cases=40)
+
+
+# -- registry consistency ---------------------------------------------------------
+
+
+def test_every_registered_law_has_an_operand_signature():
+    """Keep the law registry and the operand table in sync."""
+    assert set(LAW_OPERANDS) == set(LAWS)
+    for name, signature in LAW_OPERANDS.items():
+        assert signature and all(kind in "pA" for kind in signature), name
 
 
 def test_traces_equal_helper_detects_difference():
-    assert not traces_equal(Prefix(EVENTS[0], STOP), STOP)
-
-
-@settings(max_examples=60, deadline=None)
-@given(p=processes())
-def test_interrupt_stop_unit(p):
-    assert check_law("interrupt-stop-unit", p, max_length=BOUND)
-
-
-@settings(max_examples=60, deadline=None)
-@given(q=processes())
-def test_stop_interrupt(q):
-    assert check_law("stop-interrupt", q, max_length=BOUND)
-
-
-@settings(max_examples=30, deadline=None)
-@given(p=processes(max_depth=2), q=processes(max_depth=2), r=processes(max_depth=2))
-def test_interrupt_associative(p, q, r):
-    assert check_law("interrupt-associative", p, q, r, max_length=3)
+    assert not traces_equal(Prefix(event("a"), STOP), STOP)

@@ -3,71 +3,41 @@
 For random core process terms over declared channels, emitting CSPm text and
 re-loading it through the parser/evaluator must produce a trace-equivalent
 process.  This pins the emitter and the parser/evaluator against each other,
-the way the paper's Table I fixes notation against the algebra.
+the way the paper's Table I fixes notation against the algebra.  Random
+terms come from the shared :mod:`repro.quickcheck` generators; failures
+print the session seed and a shrunk repro (replay via ``REPRO_SEED``).
 """
 
-import hypothesis.strategies as st
-from hypothesis import given, settings
-
-from repro.csp import (
-    Alphabet,
-    Interrupt,
-    Channel,
-    ExternalChoice,
-    GenParallel,
-    Hiding,
-    Interleave,
-    InternalChoice,
-    Prefix,
-    SKIP,
-    STOP,
-    SeqComp,
-    denotational_traces,
-)
+from repro.csp import Channel, denotational_traces
 from repro.cspm import emit_process, load
+from repro.quickcheck import for_all, process_terms
 
 SEND = Channel("send", ["reqSw", "rptSw"])
 REC = Channel("rec", ["reqSw", "rptSw"])
-EVENTS = [SEND("reqSw"), SEND("rptSw"), REC("reqSw"), REC("rptSw")]
-SYNC_SETS = [Alphabet(), Alphabet.of(EVENTS[0]), Alphabet(EVENTS)]
+EVENTS = tuple(SEND.events()) + tuple(REC.events())
 
 HEADER = "datatype msgs = reqSw | rptSw\nchannel send, rec : msgs\n"
 
+PROCESSES = process_terms(EVENTS, max_depth=4)
 
-def processes():
-    base = st.sampled_from([STOP, SKIP])
 
-    def extend(children):
-        return st.one_of(
-            st.builds(Prefix, st.sampled_from(EVENTS), children),
-            st.builds(ExternalChoice, children, children),
-            st.builds(InternalChoice, children, children),
-            st.builds(SeqComp, children, children),
-            st.builds(Interleave, children, children),
-            st.builds(Interrupt, children, children),
-            st.builds(GenParallel, children, children, st.sampled_from(SYNC_SETS)),
-            st.builds(Hiding, children, st.sampled_from(SYNC_SETS[1:])),
+def test_emit_parse_roundtrip_preserves_traces(repro_seed):
+    def check(process):
+        text = HEADER + "P = " + emit_process(
+            process, {"send": SEND, "rec": REC}
+        )
+        model = load(text)
+        reloaded = model.env.resolve("P")
+        bound = 4
+        assert denotational_traces(reloaded, model.env, bound) == (
+            denotational_traces(process, None, bound)
         )
 
-    return st.recursive(base, extend, max_leaves=5)
+    for_all(PROCESSES, check, seed=repro_seed, name="emit-parse-roundtrip", cases=80)
 
 
-@settings(max_examples=80, deadline=None)
-@given(process=processes())
-def test_emit_parse_roundtrip_preserves_traces(process):
-    text = HEADER + "P = " + emit_process(
-        process, {"send": SEND, "rec": REC}
-    )
-    model = load(text)
-    reloaded = model.env.resolve("P")
-    bound = 4
-    assert denotational_traces(reloaded, model.env, bound) == denotational_traces(
-        process, None, bound
-    )
+def test_emitted_text_is_single_line(repro_seed):
+    def check(process):
+        assert "\n" not in emit_process(process)
 
-
-@settings(max_examples=80, deadline=None)
-@given(process=processes())
-def test_emitted_text_is_single_line(process):
-    text = emit_process(process)
-    assert "\n" not in text
+    for_all(PROCESSES, check, seed=repro_seed, name="emit-single-line", cases=80)

@@ -7,88 +7,71 @@ verdict must coincide with the definition
 
     Spec [F= Impl  iff  traces(Impl) ⊆ traces(Spec)
                         and failures(Impl) ⊆ failures(Spec).
+
+Random inputs come from the shared :mod:`repro.quickcheck` generators;
+failures print the session seed and a shrunk repro (replay via
+``REPRO_SEED``).
 """
 
-import hypothesis.strategies as st
-from hypothesis import given, settings
-
-from repro.csp import (
-    Alphabet,
-    ExternalChoice,
-    GenParallel,
-    Hiding,
-    Interleave,
-    InternalChoice,
-    Prefix,
-    SKIP,
-    STOP,
-    SeqComp,
-    compile_lts,
-    denotational_traces,
-    event,
-)
+from repro.csp import Alphabet, compile_lts, denotational_traces, event
 from repro.csp.failures import denotational_failures, lts_failures
 from repro.fdr import check_failures_refinement
+from repro.quickcheck import for_all, process_terms, tuples
 
 A, B = event("a"), event("b")
 SIGMA = Alphabet.of(A, B)
-
-
-def processes():
-    base = st.sampled_from([STOP, SKIP])
-
-    def extend(children):
-        return st.one_of(
-            st.builds(Prefix, st.sampled_from([A, B]), children),
-            st.builds(ExternalChoice, children, children),
-            st.builds(InternalChoice, children, children),
-            st.builds(SeqComp, children, children),
-            st.builds(Interleave, children, children),
-            st.builds(GenParallel, children, children, st.just(Alphabet.of(A))),
-            st.builds(Hiding, children, st.just(Alphabet.of(A))),
-        )
-
-    return st.recursive(base, extend, max_leaves=4)
-
-
+# the denotational failures equations do not cover Interrupt, so keep it
+# out of the draw (the operational/engine oracles elsewhere still fuzz it)
+PROCESSES = process_terms((A, B), with_interrupt=False)
 BOUND = 3
 
 
-@settings(max_examples=80, deadline=None)
-@given(p=processes())
-def test_operational_failures_equal_denotational(p):
-    denotational = denotational_failures(p, SIGMA, None, BOUND)
-    operational = lts_failures(compile_lts(p), SIGMA, BOUND)
-    assert denotational == operational
+def test_operational_failures_equal_denotational(repro_seed):
+    def check(p):
+        denotational = denotational_failures(p, SIGMA, None, BOUND)
+        operational = lts_failures(compile_lts(p), SIGMA, BOUND)
+        assert denotational == operational
+
+    for_all(PROCESSES, check, seed=repro_seed, name="failures-op-vs-denot", cases=80)
 
 
-@settings(max_examples=60, deadline=None)
-@given(spec=processes(), impl=processes())
-def test_engine_agrees_with_failures_definition(spec, impl):
-    engine = check_failures_refinement(
-        compile_lts(spec), compile_lts(impl)
-    ).passed
-    spec_traces = denotational_traces(spec, None, BOUND)
-    impl_traces = denotational_traces(impl, None, BOUND)
-    spec_failures = denotational_failures(spec, SIGMA, None, BOUND)
-    impl_failures = denotational_failures(impl, SIGMA, None, BOUND)
-    definition = impl_traces <= spec_traces and impl_failures <= spec_failures
-    assert engine == definition
+def test_engine_agrees_with_failures_definition(repro_seed):
+    def check(pair):
+        spec, impl = pair
+        engine = check_failures_refinement(
+            compile_lts(spec), compile_lts(impl)
+        ).passed
+        spec_traces = denotational_traces(spec, None, BOUND)
+        impl_traces = denotational_traces(impl, None, BOUND)
+        spec_failures = denotational_failures(spec, SIGMA, None, BOUND)
+        impl_failures = denotational_failures(impl, SIGMA, None, BOUND)
+        definition = impl_traces <= spec_traces and impl_failures <= spec_failures
+        assert engine == definition
+
+    for_all(
+        tuples(PROCESSES, PROCESSES),
+        check,
+        seed=repro_seed,
+        name="failures-engine-vs-definition",
+        cases=60,
+    )
 
 
-@settings(max_examples=60, deadline=None)
-@given(p=processes())
-def test_failures_are_downward_closed(p):
-    failures = denotational_failures(p, SIGMA, None, BOUND)
-    for trace, refusal in failures:
-        for element in refusal:
-            assert (trace, refusal - {element}) in failures
+def test_failures_are_downward_closed(repro_seed):
+    def check(p):
+        failures = denotational_failures(p, SIGMA, None, BOUND)
+        for trace, refusal in failures:
+            for element in refusal:
+                assert (trace, refusal - {element}) in failures
+
+    for_all(PROCESSES, check, seed=repro_seed, name="failures-downward-closed")
 
 
-@settings(max_examples=60, deadline=None)
-@given(p=processes())
-def test_failure_traces_are_traces(p):
-    failures = denotational_failures(p, SIGMA, None, BOUND)
-    traces = denotational_traces(p, None, BOUND)
-    for trace, _refusal in failures:
-        assert trace in traces
+def test_failure_traces_are_traces(repro_seed):
+    def check(p):
+        failures = denotational_failures(p, SIGMA, None, BOUND)
+        traces = denotational_traces(p, None, BOUND)
+        for trace, _refusal in failures:
+            assert trace in traces
+
+    for_all(PROCESSES, check, seed=repro_seed, name="failure-traces-are-traces")

@@ -1,47 +1,19 @@
 """Property-based tests for specification normalisation.
 
 The normalised automaton must be (a) deterministic and tau-free by
-construction, and (b) trace-equivalent to the original LTS -- the
-correctness contract of the subset construction that every refinement
-check depends on.
+construction, (b) trace-equivalent to the original LTS, and (c) idempotent
+at the trace level -- the correctness contract of the subset construction
+that every refinement check depends on.  Random inputs come from the shared
+:mod:`repro.quickcheck` generators; failures print the session seed and a
+shrunk repro (replay via ``REPRO_SEED``).
 """
 
-import hypothesis.strategies as st
-from hypothesis import given, settings
-
-from repro.csp import (
-    Alphabet,
-    ExternalChoice,
-    GenParallel,
-    Hiding,
-    InternalChoice,
-    Prefix,
-    SKIP,
-    STOP,
-    SeqComp,
-    compile_lts,
-    denotational_traces,
-    event,
-)
+from repro.csp import compile_lts, denotational_traces
 from repro.fdr import normalise
+from repro.quickcheck import DEFAULT_EVENTS, for_all, process_terms
 
-EVENTS = [event("a"), event("b"), event("c")]
-
-
-def processes():
-    base = st.sampled_from([STOP, SKIP])
-
-    def extend(children):
-        return st.one_of(
-            st.builds(Prefix, st.sampled_from(EVENTS), children),
-            st.builds(ExternalChoice, children, children),
-            st.builds(InternalChoice, children, children),
-            st.builds(SeqComp, children, children),
-            st.builds(GenParallel, children, children, st.just(Alphabet.of(EVENTS[0]))),
-            st.builds(Hiding, children, st.just(Alphabet.of(EVENTS[1]))),
-        )
-
-    return st.recursive(base, extend, max_leaves=5)
+PROCESSES = process_terms(DEFAULT_EVENTS, max_depth=4)
+BOUND = 4
 
 
 def normalised_traces(spec, max_length):
@@ -61,51 +33,59 @@ def normalised_traces(spec, max_length):
     return results
 
 
-BOUND = 4
+def test_normalised_automaton_is_trace_equivalent(repro_seed):
+    def check(p):
+        spec = normalise(compile_lts(p))
+        assert normalised_traces(spec, BOUND) == denotational_traces(p, None, BOUND)
+
+    for_all(PROCESSES, check, seed=repro_seed, name="normalise-traces", cases=80)
 
 
-@settings(max_examples=80, deadline=None)
-@given(p=processes())
-def test_normalised_automaton_is_trace_equivalent(p):
-    lts = compile_lts(p)
-    spec = normalise(lts)
-    assert normalised_traces(spec, BOUND) == denotational_traces(p, None, BOUND)
+def test_normalised_automaton_is_deterministic_and_tau_free(repro_seed):
+    def check(p):
+        lts = compile_lts(p)
+        spec = normalise(lts)
+        for node in range(spec.node_count):
+            for evt in spec.afters[node]:
+                assert not evt.is_tau()
+        # the initial members must be tau-closed (closure property of the
+        # construction); per-event successors are unique by the dict type
+        closure = lts.tau_closure(spec.members[spec.initial])
+        assert closure == spec.members[spec.initial]
+
+    for_all(PROCESSES, check, seed=repro_seed, name="normalise-tau-free", cases=80)
 
 
-@settings(max_examples=80, deadline=None)
-@given(p=processes())
-def test_normalised_automaton_is_deterministic_and_tau_free(p):
-    spec = normalise(compile_lts(p))
-    for node in range(spec.node_count):
-        for evt in spec.afters[node]:
-            assert not evt.is_tau()
-        # dict keys: per-event single successor == deterministic by type;
-        # also the initial members must be tau-closed
-        members = spec.members[node]
-        # no member's tau-successor may fall outside the node
-        # (closure property of the construction)
-    lts = compile_lts(p)
-    closure = lts.tau_closure(spec.members[spec.initial])
-    assert closure == spec.members[spec.initial]
+def test_normalisation_is_idempotent_on_traces(repro_seed):
+    """Re-normalising the determinised automaton changes nothing observable."""
+
+    def check(p):
+        spec = normalise(compile_lts(p))
+        again = normalise(spec.as_lts())
+        assert again.node_count <= spec.node_count
+        assert normalised_traces(again, BOUND) == normalised_traces(spec, BOUND)
+
+    for_all(PROCESSES, check, seed=repro_seed, name="normalise-idempotent", cases=60)
 
 
-@settings(max_examples=60, deadline=None)
-@given(p=processes())
-def test_acceptances_are_minimal_and_stable(p):
-    lts = compile_lts(p)
-    spec = normalise(lts)
-    for node in range(spec.node_count):
-        acceptances = spec.acceptances[node]
-        # pairwise minimality: no kept acceptance strictly contains another
-        for i, first in enumerate(acceptances):
-            for j, second in enumerate(acceptances):
-                if i != j:
-                    assert not first < second
-        # each acceptance is the offer-set of some stable member state
-        stable_offers = {
-            frozenset(e for e, _ in lts.successors(s))
-            for s in spec.members[node]
-            if lts.is_stable(s)
-        }
-        for acceptance in acceptances:
-            assert acceptance in stable_offers
+def test_acceptances_are_minimal_and_stable(repro_seed):
+    def check(p):
+        lts = compile_lts(p)
+        spec = normalise(lts)
+        for node in range(spec.node_count):
+            acceptances = spec.acceptances[node]
+            # pairwise minimality: no kept acceptance strictly contains another
+            for i, first in enumerate(acceptances):
+                for j, second in enumerate(acceptances):
+                    if i != j:
+                        assert not first < second
+            # each acceptance is the offer-set of some stable member state
+            stable_offers = {
+                frozenset(e for e, _ in lts.successors(s))
+                for s in spec.members[node]
+                if lts.is_stable(s)
+            }
+            for acceptance in acceptances:
+                assert acceptance in stable_offers
+
+    for_all(PROCESSES, check, seed=repro_seed, name="normalise-acceptances", cases=60)

@@ -3,134 +3,49 @@
 The Fig. 1 workflow is only meaningful if the extracted CSP model
 *over-approximates* the program: every behaviour the CAPL program can show
 on the bus must be a trace of its model (otherwise the checker could pass a
-property the real ECU violates).  This suite generates random CAPL reactive
-programs, runs them on the simulated bus against random stimulus sequences,
-and asserts the observed exchange is admitted by the extracted model.
+property the real ECU violates).  Random reactive programs and stimulus
+sequences come from the shared :mod:`repro.quickcheck` generators -- the
+same ones the ``cspfuzz`` extractor oracle fuzzes with -- and the observed
+exchange must be admitted by the extracted model.  Failures print the
+session seed and a shrunk program (replay via ``REPRO_SEED``).
 """
 
-import hypothesis.strategies as st
-from hypothesis import given, settings
-
-from repro.canbus import CanBus, CanFrame, Scheduler
-from repro.capl import CaplNode, MessageSpec
-from repro.csp import Event, compile_lts
+from repro.quickcheck import capl_cases, capl_programs, for_all
+from repro.quickcheck.oracles import check_extractor, simulate_capl
 from repro.translator import ModelExtractor
 
-REQUESTS = ["reqA", "reqB", "reqC"]
-RESPONSES = ["rspX", "rspY"]
-SPECS = {
-    "reqA": MessageSpec(0x201, 1),
-    "reqB": MessageSpec(0x202, 1),
-    "reqC": MessageSpec(0x203, 1),
-    "rspX": MessageSpec(0x301, 1),
-    "rspY": MessageSpec(0x302, 1),
-}
 
-
-# -- generating random reactive CAPL programs --------------------------------------
-
-
-@st.composite
-def statements(draw, depth=0):
-    """A random handler-body statement using outputs, state, ifs and loops."""
-    choices = ["output", "assign", "noop"]
-    if depth < 2:
-        choices += ["if", "if_else", "for"]
-    kind = draw(st.sampled_from(choices))
-    if kind == "output":
-        response = draw(st.sampled_from(RESPONSES))
-        return "output(msg_{});".format(response)
-    if kind == "assign":
-        return "state = state + {};".format(draw(st.integers(0, 3)))
-    if kind == "noop":
-        return "dummy = dummy + 1;"
-    if kind == "if":
-        inner = draw(statements(depth=depth + 1))
-        return "if (state > {}) {{ {} }}".format(draw(st.integers(0, 2)), inner)
-    if kind == "if_else":
-        then_branch = draw(statements(depth=depth + 1))
-        else_branch = draw(statements(depth=depth + 1))
-        return "if (state % 2 == 0) {{ {} }} else {{ {} }}".format(
-            then_branch, else_branch
-        )
-    inner = draw(statements(depth=depth + 1))
-    # each nesting depth gets its own index variable; sharing one across
-    # nested loops can produce genuinely non-terminating programs
-    loop_var = "i{}".format(depth)
-    return "for ({0} = 0; {0} < {1}; {0}++) {{ {2} }}".format(
-        loop_var, draw(st.integers(0, 2)), inner
+def test_simulated_behaviour_is_admitted_by_extracted_model(repro_seed):
+    """Delegates to the cspfuzz extractor oracle: interpreter-replay vs model."""
+    for_all(
+        capl_cases(),
+        check_extractor,
+        seed=repro_seed,
+        name="extraction-soundness",
+        cases=60,
     )
 
 
-@st.composite
-def capl_programs(draw):
-    handled = draw(
-        st.lists(st.sampled_from(REQUESTS), min_size=1, max_size=3, unique=True)
-    )
-    lines = ["variables {"]
-    for response in RESPONSES:
-        lines.append("  message {} msg_{};".format(response, response))
-    lines.append("  int state = 0;")
-    lines.append("  int dummy = 0;")
-    lines.append("  int i0 = 0;")
-    lines.append("  int i1 = 0;")
-    lines.append("  int i2 = 0;")
-    lines.append("}")
-    for request in handled:
-        body = " ".join(draw(st.lists(statements(), min_size=0, max_size=3)))
-        lines.append("on message {} {{ {} }}".format(request, body))
-    return "\n".join(lines)
-
-
-def simulate(source, stimuli):
-    """Deliver each stimulus in turn; return the observed CSP-style trace."""
-    scheduler = Scheduler()
-    bus = CanBus(scheduler)
-    node = CaplNode("ECU", bus, source, SPECS)
-    trace = []
-    for request in stimuli:
-        spec = SPECS[request]
-        before = len(bus.log)
-        node.deliver(CanFrame(spec.can_id, [0] * spec.dlc, name=request))
-        scheduler.run()  # flush this handler's transmissions
-        trace.append(Event("send", (request,)))
-        for entry in bus.log.entries[before:]:
-            name = entry.frame.name
-            trace.append(Event("rec", (name,)))
-    return trace
-
-
-@settings(max_examples=60, deadline=None)
-@given(source=capl_programs(), data=st.data())
-def test_simulated_behaviour_is_admitted_by_extracted_model(source, data):
-    result = ModelExtractor().extract(source, "ECU")
-    model = result.load()
-    lts = compile_lts(model.process("ECU"), model.env, max_states=100_000)
-
-    # stimulate with requests the program actually handles
-    from repro.capl.parser import parse as parse_capl
-
-    handled = [
-        p.selector
-        for p in parse_capl(source).message_handlers()
-        if isinstance(p.selector, str)
-    ]
-    stimuli = data.draw(
-        st.lists(st.sampled_from(handled), min_size=1, max_size=4)
-    )
-    trace = simulate(source, stimuli)
-    assert lts.walk(trace) is not None, "model rejects real behaviour: {}".format(
-        [str(e) for e in trace]
-    )
-
-
-@settings(max_examples=40, deadline=None)
-@given(source=capl_programs())
-def test_extracted_scripts_always_load_and_are_deadlock_free(source):
+def test_extracted_scripts_always_load_and_are_deadlock_free(repro_seed):
     """Extraction of arbitrary reactive programs yields loadable, live models."""
     from repro.fdr import deadlock_free
 
-    result = ModelExtractor().extract(source, "ECU")
-    model = result.load()
-    outcome = deadlock_free(model.process("ECU"), model.env, max_states=100_000)
-    assert outcome.passed
+    def check(program):
+        result = ModelExtractor().extract(program.render(), "ECU")
+        model = result.load()
+        outcome = deadlock_free(model.process("ECU"), model.env, max_states=100_000)
+        assert outcome.passed
+
+    for_all(capl_programs(), check, seed=repro_seed, name="extraction-live", cases=40)
+
+
+def test_simulate_capl_observes_handler_responses(repro_seed):
+    """The replay harness itself sees both the stimulus and the responses."""
+
+    def check(case):
+        program, stimuli = case
+        trace = simulate_capl(program.render(), stimuli)
+        sends = [e for e in trace if e.channel == "send"]
+        assert [e.fields[0] for e in sends] == list(stimuli)
+
+    for_all(capl_cases(), check, seed=repro_seed, name="replay-harness", cases=20)
