@@ -1,26 +1,35 @@
-"""Ablation: strong-bisimulation compression before checking.
+"""Ablation: compress-before-compose vs. checking the raw composition.
 
 DESIGN.md calls out compression as the design choice behind FDR-style
 scalability (paper Sec. VII-A: "support for large-scale verification").
-This bench measures the same refinement check with and without minimising
-the component LTSs first, on systems of redundantly-branching components
-(the kind the extractor's choice-translation produces).
+This bench runs the same refinement checks twice through the production
+path -- :class:`repro.engine.VerificationPipeline` with the default pass
+pipeline vs. ``passes="none"`` -- on two families:
+
+* interleavings of redundantly-branching components (the kind the
+  extractor's choice-translation produces), where the bisimulation
+  quotient collapses the structural redundancy before the product; and
+* the bundled case-study systems (Fig. 2 demo, the update session, the
+  intruder compositions), where the claim that matters is *identity*:
+  same verdict, byte-identical counterexample trace, fewer explored
+  product states.
+
+Besides the text table, the sweep writes
+``benchmarks/out/BENCH_compression.json``: per-pass state counts, wall
+times and explored-state counts for both paths, consumed by the CI
+verdict-agreement gate.
 """
 
 import time
 
-from repro.csp import (
-    Environment,
-    ExternalChoice,
-    Prefix,
-    compile_lts,
-    event,
-    interleave_all,
-    ref,
+from repro.csp import Alphabet, Environment, ExternalChoice, Prefix, event, interleave_all, ref
+from repro.engine import VerificationPipeline
+from repro.ota.models import (
+    build_paper_system,
+    build_secured_system,
+    build_session_system,
 )
-from repro.fdr import check_trace_refinement, compression_ratio, minimise
-from repro.security.properties import run_process
-from repro.csp import Alphabet
+from repro.security.properties import never_occurs, run_process
 
 
 def build_redundant_component(env, index):
@@ -39,58 +48,137 @@ def build_redundant_component(env, index):
     return ref(name), Alphabet.of(a, b)
 
 
-def run_comparison(component_count):
-    env = Environment()
-    parts = [build_redundant_component(env, i) for i in range(component_count)]
-    system = interleave_all(*[p for p, _alpha in parts])
-    alphabet = Alphabet()
-    for _p, alpha in parts:
-        alphabet = alphabet | alpha
-    spec = run_process(alphabet, env, "RUNRED")
-    spec_lts = compile_lts(spec, env)
-
+def _timed_check(env, spec, impl, passes):
+    pipeline = VerificationPipeline(env, passes=passes)
     started = time.perf_counter()
-    raw_lts = compile_lts(system, env)
-    raw_result = check_trace_refinement(spec_lts, raw_lts)
-    raw_ms = (time.perf_counter() - started) * 1000.0
+    result = pipeline.refinement(spec, impl, "T")
+    elapsed_ms = (time.perf_counter() - started) * 1000.0
+    return result, elapsed_ms
 
-    started = time.perf_counter()
-    compressed_lts = minimise(compile_lts(system, env))
-    compressed_result = check_trace_refinement(spec_lts, compressed_lts)
-    compressed_ms = (time.perf_counter() - started) * 1000.0
 
-    assert raw_result.passed and compressed_result.passed
-    return (
-        component_count,
-        raw_lts.state_count,
-        compressed_lts.state_count,
-        compression_ratio(raw_lts, compressed_lts),
-        raw_ms,
-        compressed_ms,
-    )
+def _compare(name, make):
+    """Run one check compressed and uncompressed; assert semantic identity."""
+    env, spec, impl = make()
+    compressed, compressed_ms = _timed_check(env, spec, impl, "default")
+    env, spec, impl = make()
+    uncompressed, uncompressed_ms = _timed_check(env, spec, impl, "none")
+
+    assert compressed.passed == uncompressed.passed, name
+    cex_trace = None
+    if not compressed.passed:
+        assert (
+            compressed.counterexample.describe()
+            == uncompressed.counterexample.describe()
+        ), name
+        cex_trace = [str(e) for e in compressed.counterexample.full_trace]
+    assert compressed.states_explored <= uncompressed.states_explored, name
+
+    return {
+        "system": name,
+        "passed": compressed.passed,
+        "counterexample": cex_trace,
+        "explored_compressed": compressed.states_explored,
+        "explored_uncompressed": uncompressed.states_explored,
+        "check_ms_compressed": round(compressed_ms, 3),
+        "check_ms_uncompressed": round(uncompressed_ms, 3),
+        "passes": [stat.as_dict() for stat in compressed.pass_stats],
+    }
+
+
+def _redundant_case(component_count):
+    def make():
+        env = Environment()
+        parts = [
+            build_redundant_component(env, i) for i in range(component_count)
+        ]
+        system = interleave_all(*[p for p, _alpha in parts])
+        alphabet = Alphabet()
+        for _p, alpha in parts:
+            alphabet = alphabet | alpha
+        spec = run_process(alphabet, env, "RUNRED")
+        return env, spec, system
+
+    return make
+
+
+def _paper_case(flawed):
+    def make():
+        system = build_paper_system(flawed=flawed)
+        return system.env, system.sp02, system.system
+
+    return make
+
+
+def _session_case():
+    session = build_session_system()
+    return session.env, session.spec, session.system
+
+
+def _secured_case(protection):
+    def make():
+        secured = build_secured_system(protection)
+        spec = never_occurs(
+            secured.forbidden_applies, secured.alphabet, secured.env, "SPEC"
+        )
+        return secured.env, spec, secured.attacked_system
+
+    return make
+
+
+CASES = [
+    ("redundant-x2", _redundant_case(2)),
+    ("redundant-x3", _redundant_case(3)),
+    ("redundant-x4", _redundant_case(4)),
+    ("fig2-demo", _paper_case(flawed=False)),
+    ("fig2-demo-flawed", _paper_case(flawed=True)),
+    ("update-session", _session_case),
+    ("intruder-unprotected", _secured_case("none")),
+    ("intruder-mac", _secured_case("mac")),
+]
 
 
 def sweep():
-    return [run_comparison(n) for n in (1, 2, 3, 4)]
+    return [_compare(name, make) for name, make in CASES]
 
 
-def test_bench_ablation_compression(benchmark, artifact):
+def test_bench_ablation_compression(benchmark, artifact, json_artifact):
     rows = benchmark(sweep)
-    # compression must actually shrink the redundant systems
-    assert all(compressed < raw for _n, raw, compressed, _r, _t1, _t2 in rows)
+
+    # compress-before-compose must strictly reduce the explored product on
+    # the redundant family, and never lose ground anywhere
+    for row in rows:
+        if row["system"].startswith("redundant"):
+            assert row["explored_compressed"] < row["explored_uncompressed"]
+    assert sum(r["explored_compressed"] for r in rows) < sum(
+        r["explored_uncompressed"] for r in rows
+    )
+    # every compressed component reports its pass trail
+    assert all(row["passes"] for row in rows)
+
+    json_artifact("BENCH_compression", {"cases": rows})
 
     lines = [
-        "Ablation: checking with vs. without bisimulation compression",
+        "Ablation: compress-before-compose vs. the raw composition",
         "",
-        "{:<12} {:<12} {:<12} {:<8} {:<12} {}".format(
-            "components", "raw states", "min states", "ratio", "raw ms", "compressed ms"
+        "{:<22} {:<8} {:<14} {:<16} {:<12} {}".format(
+            "system",
+            "verdict",
+            "explored (c)",
+            "explored (raw)",
+            "check ms (c)",
+            "check ms (raw)",
         ),
-        "-" * 72,
+        "-" * 86,
     ]
-    for count, raw, compressed, ratio, raw_ms, compressed_ms in rows:
+    for row in rows:
         lines.append(
-            "{:<12} {:<12} {:<12} {:<8.2f} {:<12.2f} {:.2f}".format(
-                count, raw, compressed, ratio, raw_ms, compressed_ms
+            "{:<22} {:<8} {:<14} {:<16} {:<12.2f} {:.2f}".format(
+                row["system"],
+                "pass" if row["passed"] else "FAIL",
+                row["explored_compressed"],
+                row["explored_uncompressed"],
+                row["check_ms_compressed"],
+                row["check_ms_uncompressed"],
             )
         )
     artifact("ablation_compression", "\n".join(lines))

@@ -414,6 +414,35 @@ class ProcessRef(Process):
         return self.name
 
 
+class CompiledProcess(Process):
+    """A state of an already-compiled (and usually compressed) automaton.
+
+    The compilation plan replaces component subterms of a composition with
+    these leaves, so the SOS explores the *minimised* component state
+    machines instead of re-deriving the originals -- compress-before-
+    compose.  ``automaton`` is any object with a stable ``token`` string
+    (identifying the compiled artefact) and ``transitions_from(state)``
+    returning ``[(Event, Process)]``; the concrete handle lives in
+    :mod:`repro.engine.plan`, keeping this module free of engine imports.
+    """
+
+    __slots__ = ("automaton", "state")
+
+    def __init__(self, automaton: object, state: int) -> None:
+        object.__setattr__(self, "automaton", automaton)
+        object.__setattr__(self, "state", state)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("CompiledProcess is immutable")
+
+    def _key(self) -> tuple:
+        return (self.automaton.token, self.state)
+
+    def __repr__(self) -> str:
+        label = getattr(self.automaton, "label", None) or "compiled"
+        return "{}@{}".format(label, self.state)
+
+
 class Environment:
     """A set of named process equations: ``name = body``.
 

@@ -27,6 +27,7 @@ from typing import FrozenSet, List, Tuple
 
 from .events import Event, TAU, TICK
 from .process import (
+    CompiledProcess,
     Environment,
     Interrupt,
     ExternalChoice,
@@ -74,6 +75,11 @@ def _transitions(
 ) -> List[Transition]:
     if isinstance(process, (Stop, Omega)):
         return []
+
+    if isinstance(process, CompiledProcess):
+        # a pre-compiled component: replay its automaton's moves (the plan
+        # memoises these lists per state, so this is a lookup, not a rebuild)
+        return process.automaton.transitions_from(process.state)
 
     if isinstance(process, Skip):
         return [(TICK, OMEGA)]

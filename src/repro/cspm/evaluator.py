@@ -135,19 +135,23 @@ class CspmModel:
         return ProcessRef(name)
 
     def check_assertions(
-        self, max_states: int = 200_000, pipeline=None
+        self, max_states: int = 200_000, pipeline=None, passes="default"
     ) -> List[CheckResult]:
         """Discharge every ``assert`` in the script; returns one result each.
 
         All assertions share one verification pipeline, so a process term
         appearing on several assert lines compiles and normalises once.  Pass
         a preconfigured :class:`~repro.engine.VerificationPipeline` to
-        control eager/lazy search or reuse a cache across scripts.
+        control eager/lazy search or reuse a cache across scripts; *passes*
+        configures compress-before-compose when no pipeline is supplied
+        ("default", "none", or a comma-separated pass list).
         """
         from ..engine.pipeline import VerificationPipeline
 
         if pipeline is None:
-            pipeline = VerificationPipeline(self.env, max_states=max_states)
+            pipeline = VerificationPipeline(
+                self.env, max_states=max_states, passes=passes
+            )
         results = []
         for decl in self.assertions:
             results.append(self.check_assertion(decl, max_states, pipeline))
@@ -177,6 +181,7 @@ class CspmModel:
                 result.counterexample,
                 result.states_explored,
                 result.transitions_explored,
+                pass_stats=result.pass_stats,
             )
             return flipped
         return result

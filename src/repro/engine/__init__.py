@@ -12,19 +12,35 @@ caller.  The pipeline owns three pieces of shared state:
   against many implementations compiles the shared side once;
 * the check dispatch itself, including the on-the-fly implementation
   expansion that lets trace/failures checks exit on the first violation
-  without materialising the full implementation state space.
+  without materialising the full implementation state space;
+* a :class:`CompilationPlan` that decomposes composed terms along their
+  parallel/hiding/renaming boundaries and compresses each component with
+  the configured :mod:`repro.passes` before the product is ever explored
+  (compress-before-compose, paper Sec. VII-A).
 """
 
 from .alphabet import AlphabetTable, TAU_ID, TICK_ID, shared_table_of
 from .cache import CompilationCache, reachable_bindings, structural_key
 from .pipeline import VerificationPipeline, shared_cache
+from .plan import (
+    CompilationPlan,
+    CompiledAutomaton,
+    ComponentProvenance,
+    PreparedTerm,
+    component_provenance,
+)
 
 __all__ = [
     "AlphabetTable",
     "TAU_ID",
     "TICK_ID",
     "CompilationCache",
+    "CompilationPlan",
+    "CompiledAutomaton",
+    "ComponentProvenance",
+    "PreparedTerm",
     "VerificationPipeline",
+    "component_provenance",
     "reachable_bindings",
     "shared_cache",
     "shared_table_of",

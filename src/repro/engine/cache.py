@@ -20,6 +20,9 @@ from ..fdr.normalise import NormalisedSpec
 #: (root fingerprint, sorted (name, body fingerprint) of reachable bindings)
 CacheKey = Tuple[str, Tuple[Tuple[str, str], ...]]
 
+#: a compressed component: its structural key plus the applied pass names
+CompressedKey = Tuple[CacheKey, Tuple[str, ...]]
+
 #: fingerprint stand-in for a reference with no binding (unbound names fail
 #: at compile time, but the key must still distinguish them)
 _UNBOUND = "<unbound>"
@@ -70,10 +73,16 @@ class CompilationCache:
     def __init__(self) -> None:
         self._lts: Dict[CacheKey, LTS] = {}
         self._normalised: Dict[CacheKey, NormalisedSpec] = {}
+        #: compressed component automata, keyed by (structural key, pass
+        #: config) -- the same component checked under different pass lists
+        #: gets distinct entries (see repro.engine.plan.CompilationPlan)
+        self._compressed: Dict[CompressedKey, object] = {}
         self.lts_hits = 0
         self.lts_misses = 0
         self.normalised_hits = 0
         self.normalised_misses = 0
+        self.compressed_hits = 0
+        self.compressed_misses = 0
 
     def get_lts(self, key: CacheKey, max_states: int) -> Optional[LTS]:
         cached = self._lts.get(key)
@@ -105,9 +114,23 @@ class CompilationCache:
     def put_normalised(self, key: CacheKey, spec: NormalisedSpec) -> None:
         self._normalised[key] = spec
 
+    def get_compressed(self, key: CacheKey, passes: Tuple[str, ...]) -> object:
+        cached = self._compressed.get((key, passes))
+        if cached is None:
+            self.compressed_misses += 1
+        else:
+            self.compressed_hits += 1
+        return cached
+
+    def put_compressed(
+        self, key: CacheKey, passes: Tuple[str, ...], automaton: object
+    ) -> None:
+        self._compressed[(key, passes)] = automaton
+
     def clear(self) -> None:
         self._lts.clear()
         self._normalised.clear()
+        self._compressed.clear()
 
     def stats(self) -> Dict[str, int]:
         return {
@@ -117,4 +140,7 @@ class CompilationCache:
             "normalised_entries": len(self._normalised),
             "normalised_hits": self.normalised_hits,
             "normalised_misses": self.normalised_misses,
+            "compressed_entries": len(self._compressed),
+            "compressed_hits": self.compressed_hits,
+            "compressed_misses": self.compressed_misses,
         }

@@ -28,7 +28,9 @@ from ..fdr.refine import (
     check_fd_refinement,
     check_trace_refinement_from,
 )
+from ..passes.base import PassSpec, resolve_passes
 from .cache import CompilationCache, structural_key
+from .plan import CompilationPlan, PreparedTerm, component_provenance
 
 _PROPERTY_CHECKS = {
     "deadlock free": check_deadlock_free,
@@ -48,12 +50,15 @@ class VerificationPipeline:
         cache: Optional[CompilationCache] = None,
         max_states: int = DEFAULT_STATE_LIMIT,
         on_the_fly: bool = True,
+        passes: PassSpec = "default",
     ) -> None:
         self.env = env if env is not None else Environment()
         self.table = table if table is not None else AlphabetTable()
         self.cache = cache if cache is not None else CompilationCache()
         self.max_states = max_states
         self.on_the_fly = on_the_fly
+        self.passes = resolve_passes(passes)
+        self.plan = CompilationPlan(self, self.passes)
         self.checks_run = 0
 
     # -- compilation ---------------------------------------------------------
@@ -112,25 +117,30 @@ class VerificationPipeline:
             )
         label = name or "{!r} [{}= {!r}".format(spec, model, impl)
         self.checks_run += 1
+        prepared_spec = self.plan.prepare(spec, model, max_states)
+        prepared_impl = self.plan.prepare(impl, model, max_states)
         if model == "FD":
-            return check_fd_refinement(
-                self.compile(spec, max_states),
-                self.compile(impl, max_states),
+            result = check_fd_refinement(
+                self.compile(prepared_spec.term, max_states),
+                self.compile(prepared_impl.term, max_states),
                 label,
             )
-        normalised_spec = self.normalised(spec, max_states)
-        implementation = (
-            self.lazy(impl, max_states)
-            if self.on_the_fly
-            else self.compile(impl, max_states)
-        )
-        if model == "T":
-            return check_trace_refinement_from(
-                normalised_spec, implementation, label
+        else:
+            normalised_spec = self.normalised(prepared_spec.term, max_states)
+            implementation = (
+                self.lazy(prepared_impl.term, max_states)
+                if self.on_the_fly
+                else self.compile(prepared_impl.term, max_states)
             )
-        return check_failures_refinement_from(
-            normalised_spec, implementation, label
-        )
+            if model == "T":
+                result = check_trace_refinement_from(
+                    normalised_spec, implementation, label
+                )
+            else:
+                result = check_failures_refinement_from(
+                    normalised_spec, implementation, label
+                )
+        return self._finish(result, prepared_spec, prepared_impl)
 
     def property_check(
         self,
@@ -150,7 +160,21 @@ class VerificationPipeline:
             ) from None
         label = name or "{!r} :[{}]".format(process, property_name)
         self.checks_run += 1
-        return checker(self.compile(process, max_states), label)
+        # property checks observe failures and divergences, so only
+        # FD-preserving passes may rewrite the process
+        prepared = self.plan.prepare(process, "FD", max_states)
+        result = checker(self.compile(prepared.term, max_states), label)
+        return self._finish(result, prepared)
+
+    def _finish(self, result: CheckResult, *prepared: PreparedTerm) -> CheckResult:
+        """Attach pass statistics and component provenance to a result."""
+        result.pass_stats = tuple(
+            stat for item in prepared for stat in item.pass_stats
+        )
+        violation = result.counterexample
+        if violation is not None and violation.impl_term is not None:
+            violation.provenance = component_provenance(violation.impl_term)
+        return result
 
     # -- introspection -------------------------------------------------------
 

@@ -116,10 +116,18 @@ class Session:
     (or component) appearing in several assertions compiles once.
     """
 
-    def __init__(self, env: Optional[Environment] = None) -> None:
+    def __init__(
+        self,
+        env: Optional[Environment] = None,
+        *,
+        passes: object = "default",
+    ) -> None:
         self.env = env or Environment()
         self.assertions: List[Assertion] = []
-        self.pipeline = VerificationPipeline(self.env)
+        #: *passes* configures compress-before-compose for every assertion
+        #: in the session: "default", "none", or a comma-separated pass list
+        #: (see repro.passes.resolve_passes)
+        self.pipeline = VerificationPipeline(self.env, passes=passes)
 
     def define(self, name: str, body: Process) -> "Session":
         self.env.bind(name, body)

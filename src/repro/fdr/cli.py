@@ -10,7 +10,9 @@ Usage::
     cspcheck model.csp --max-states 1e6   # larger state budget
     cspcheck model.csp --quiet            # verdict summary only
     cspcheck model.csp --eager            # materialise impls (no on-the-fly)
-    cspcheck model.csp --stats            # cache/alphabet statistics
+    cspcheck model.csp --stats            # cache/alphabet/pass statistics
+    cspcheck model.csp --compress=none    # disable compress-before-compose
+    cspcheck model.csp --compress=tau_loop,sbisim   # explicit pass list
 """
 
 from __future__ import annotations
@@ -48,6 +50,14 @@ def build_arg_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print pipeline statistics (cache hits, interned events) at the end",
     )
+    parser.add_argument(
+        "--compress",
+        default="default",
+        metavar="SPEC",
+        help="component compression passes applied before composition: "
+        "'default' (dead,tau_loop,diamond,sbisim), 'none', or a "
+        "comma-separated pass list (e.g. 'tau_loop,sbisim,normal')",
+    )
     return parser
 
 
@@ -57,11 +67,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if not model.assertions:
         sys.stderr.write("warning: script declares no assertions\n")
         return 0
-    pipeline = VerificationPipeline(
-        model.env,
-        max_states=int(args.max_states),
-        on_the_fly=not args.eager,
-    )
+    try:
+        pipeline = VerificationPipeline(
+            model.env,
+            max_states=int(args.max_states),
+            on_the_fly=not args.eager,
+            passes=args.compress,
+        )
+    except KeyError as error:
+        sys.stderr.write("error: {}\n".format(error.args[0]))
+        return 2
     results = model.check_assertions(
         max_states=int(args.max_states), pipeline=pipeline
     )
@@ -77,6 +92,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.stats:
         for key, value in sorted(pipeline.stats().items()):
             sys.stdout.write("stat {}: {}\n".format(key, value))
+        for result in results:
+            for stat in result.pass_stats:
+                sys.stdout.write(
+                    "compress [{}] {}\n".format(result.name, stat.summary())
+                )
     return 1 if failed else 0
 
 

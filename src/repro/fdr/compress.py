@@ -1,94 +1,23 @@
 """State-space compression: strong bisimulation minimisation.
 
-FDR ships compression functions (``sbisim``, ``normal`` ...) that shrink
-component LTSs before composition -- the key to the scalability the paper
-banks on (Sec. VII-A).  This module implements the workhorse: strong
-bisimulation minimisation by partition refinement (Kanellakis-Smolka style),
-treating tau like any other label (strong, not weak, bisimulation -- exactly
-FDR's ``sbisim``).
+Compatibility facade.  The minimiser migrated to :mod:`repro.passes.sbisim`
+where it runs as the ``sbisim`` pass inside the compilation plan
+(compress-before-compose, paper Sec. VII-A); this module keeps the
+historical ``fdr.compress`` API for direct callers.
 
-``minimise`` returns a new LTS whose states are the bisimulation classes of
-the input; every check in :mod:`repro.fdr.refine` gives identical verdicts
-on the minimised system (validated by tests and an ablation benchmark).
+Two behavioural upgrades came with the migration: partition refinement now
+hash-conses signatures and only re-splits touched blocks (instead of
+recomputing every state's signature each sweep), and ``minimise`` renumbers
+the quotient in BFS order from the root, so its output -- and anything
+cached on it -- is stable across runs.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Set, Tuple
+from ..csp.lts import LTS
+from ..passes.sbisim import bisimulation_classes, minimise, quotient
 
-from ..csp.events import Event
-from ..csp.lts import LTS, StateId
-
-
-def bisimulation_classes(lts: LTS) -> List[FrozenSet[StateId]]:
-    """The coarsest strong-bisimulation partition of the LTS states.
-
-    Iterative partition refinement: start with one block, split blocks until
-    every pair of states in a block has the same labelled moves *into
-    blocks*.  O(m·n) worst case, plenty for component-sized LTSs.
-    """
-    if lts.state_count == 0:
-        return []
-    block_of: List[int] = [0] * lts.state_count
-
-    def signature(state: StateId) -> FrozenSet[Tuple[int, int]]:
-        return frozenset(
-            (eid, block_of[target]) for eid, target in lts.successors_ids(state)
-        )
-
-    changed = True
-    block_count = 1
-    while changed:
-        changed = False
-        signatures: Dict[Tuple[int, FrozenSet[Tuple[int, int]]], int] = {}
-        new_block_of: List[int] = [0] * lts.state_count
-        next_block = 0
-        for state in lts.iter_states():
-            key = (block_of[state], signature(state))
-            existing = signatures.get(key)
-            if existing is None:
-                signatures[key] = next_block
-                existing = next_block
-                next_block += 1
-            new_block_of[state] = existing
-        if next_block != block_count:
-            changed = True
-            block_count = next_block
-        block_of = new_block_of
-
-    blocks: Dict[int, Set[StateId]] = {}
-    for state in lts.iter_states():
-        blocks.setdefault(block_of[state], set()).add(state)
-    return [frozenset(blocks[index]) for index in sorted(blocks)]
-
-
-def minimise(lts: LTS) -> LTS:
-    """Quotient the LTS by strong bisimulation.
-
-    The result is strongly bisimilar to the input, hence equivalent in every
-    CSP semantic model (traces, failures, divergences), with duplicate
-    transitions merged.
-    """
-    classes = bisimulation_classes(lts)
-    class_index: Dict[StateId, int] = {}
-    for index, members in enumerate(classes):
-        for state in members:
-            class_index[state] = index
-
-    minimised = LTS(lts.table)  # classes share the source's id space
-    for members in classes:
-        representative = min(members)
-        minimised.add_state(lts.terms[representative])
-    minimised.initial = class_index[lts.initial]
-    for index, members in enumerate(classes):
-        representative = min(members)
-        seen: Set[Tuple[int, int]] = set()
-        for eid, target in lts.successors_ids(representative):
-            edge = (eid, class_index[target])
-            if edge not in seen:
-                seen.add(edge)
-                minimised.add_transition_id(index, eid, class_index[target])
-    return minimised
+__all__ = ["bisimulation_classes", "minimise", "quotient", "compression_ratio"]
 
 
 def compression_ratio(original: LTS, minimised: LTS) -> float:

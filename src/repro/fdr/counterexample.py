@@ -17,15 +17,34 @@ Trace = Tuple[Event, ...]
 
 
 class Counterexample:
-    """A behaviour of the implementation not permitted by the specification."""
+    """A behaviour of the implementation not permitted by the specification.
+
+    Beyond the violating trace, the checker attaches *where* the violation
+    happened: ``impl_term`` is the implementation state (as a process term)
+    at which the search stopped, and when the check ran through a
+    compilation plan, ``provenance`` maps every compressed component inside
+    that state back to the original (pre-pass) component state -- so
+    compressed checks stay as diagnosable as uncompressed ones.  Neither
+    field changes :meth:`describe`, whose text is byte-identical with and
+    without compression.
+    """
 
     kind = "generic"
 
     def __init__(self, trace: Trace) -> None:
         self.trace = trace
+        #: the implementation term at the violation, when the checker knows it
+        self.impl_term = None
+        #: tuple of :class:`repro.engine.plan.ComponentProvenance` entries
+        #: for compressed components inside ``impl_term`` (empty otherwise)
+        self.provenance: Tuple = ()
 
     def describe(self) -> str:
         raise NotImplementedError
+
+    def provenance_summary(self) -> str:
+        """Original-component locations of the violation, one per line."""
+        return "\n".join(entry.describe() for entry in self.provenance)
 
     def __repr__(self) -> str:
         return "{}({})".format(type(self).__name__, format_trace(self.trace))

@@ -58,12 +58,17 @@ class CheckResult:
         counterexample: Optional[Counterexample] = None,
         states_explored: int = 0,
         transitions_explored: int = 0,
+        pass_stats: Tuple = (),
     ) -> None:
         self.name = name
         self.passed = passed
         self.counterexample = counterexample
         self.states_explored = states_explored
         self.transitions_explored = transitions_explored
+        #: per-component compression statistics
+        #: (:class:`repro.passes.base.PassStats`) when the check ran through
+        #: a compilation plan; empty for uncompressed checks
+        self.pass_stats = pass_stats
 
     def __bool__(self) -> bool:
         return self.passed
@@ -76,6 +81,10 @@ class CheckResult:
         if self.counterexample is not None:
             line += "\n  " + self.counterexample.describe()
         return line
+
+    def pass_summary(self) -> str:
+        """One line per applied compression pass (empty if none ran)."""
+        return "\n".join(stat.summary() for stat in self.pass_stats)
 
     def __repr__(self) -> str:
         return "CheckResult({!r}, passed={})".format(self.name, self.passed)
@@ -148,6 +157,30 @@ class LazyImplementation:
 Implementation = Union[LTS, LazyImplementation]
 
 
+def _attach_impl_state(
+    violation: Optional[Counterexample],
+    impl: Implementation,
+    state: Optional[StateId],
+) -> Optional[Counterexample]:
+    """Record the violating implementation term on the counterexample.
+
+    Both implementation flavours can name the process term behind a state
+    (``term_of`` on the lazy expansion, ``terms`` on a compiled LTS); the
+    pipeline maps any compressed-component leaves inside that term back to
+    original states (see :func:`repro.engine.plan.component_provenance`).
+    """
+    if violation is None or state is None:
+        return violation
+    term_of = getattr(impl, "term_of", None)
+    if term_of is not None:
+        violation.impl_term = term_of(state)
+        return violation
+    terms = getattr(impl, "terms", None)
+    if terms is not None and state < len(terms):
+        violation.impl_term = terms[state]
+    return violation
+
+
 class _ProductSearch:
     """BFS over (implementation state, spec node) pairs with trace rebuild.
 
@@ -167,6 +200,9 @@ class _ProductSearch:
         }
         self.parents: Dict[Pair, Tuple[Optional[Pair], Optional[int]]] = {}
         self.transitions_explored = 0
+        #: the product pair at which run() found its violation, if any --
+        #: provenance threading reads the implementation state out of it
+        self.violation_pair: Optional[Pair] = None
 
     def _spec_id(self, eid: int) -> Optional[int]:
         """Translate an impl-table event id to the spec table (None = unknown)."""
@@ -227,6 +263,7 @@ class _ProductSearch:
             if on_pair is not None:
                 violation = on_pair(pair, self.trace_to)
                 if violation is not None:
+                    self.violation_pair = pair
                     return violation
             if prune is not None and prune(pair):
                 continue
@@ -240,6 +277,7 @@ class _ProductSearch:
                         afters_ids[node].get(sid) if sid is not None else None
                     )
                     if next_node is None:
+                        self.violation_pair = pair
                         return TraceCounterexample(
                             self.trace_to(pair), event_of(eid)
                         )
@@ -257,7 +295,11 @@ def check_trace_refinement_from(
 ) -> CheckResult:
     """Decide ``Spec ⊑T Impl`` against an already-normalised specification."""
     search = _ProductSearch(impl, normalised)
-    violation = search.run()
+    violation = _attach_impl_state(
+        search.run(),
+        impl,
+        search.violation_pair[0] if search.violation_pair else None,
+    )
     return CheckResult(
         name,
         violation is None,
@@ -290,7 +332,11 @@ def check_failures_refinement_from(
         )
         return FailureCounterexample(trace_to(pair), offered, required - offered)
 
-    violation = search.run(on_pair=stable_check)
+    violation = _attach_impl_state(
+        search.run(on_pair=stable_check),
+        impl,
+        search.violation_pair[0] if search.violation_pair else None,
+    )
     return CheckResult(
         name,
         violation is None,
@@ -346,7 +392,13 @@ def check_fd_refinement(spec: LTS, impl: LTS, name: str = "Spec [FD= Impl") -> C
         )
         return FailureCounterexample(trace_to(pair), offered, required - offered)
 
-    violation = search.run(on_pair=fd_check, prune=lambda pair: normalised.divergent[pair[1]])
+    violation = _attach_impl_state(
+        search.run(
+            on_pair=fd_check, prune=lambda pair: normalised.divergent[pair[1]]
+        ),
+        impl,
+        search.violation_pair[0] if search.violation_pair else None,
+    )
     return CheckResult(
         name,
         violation is None,
@@ -402,7 +454,7 @@ def check_deadlock_free(lts: LTS, name: str = "deadlock free") -> CheckResult:
         return CheckResult(
             name,
             False,
-            DeadlockCounterexample(trace),
+            _attach_impl_state(DeadlockCounterexample(trace), lts, state),
             states_explored=len(order),
             transitions_explored=transitions,
         )
@@ -419,8 +471,12 @@ def check_divergence_free(lts: LTS, name: str = "divergence free") -> CheckResul
             return CheckResult(
                 name,
                 False,
-                DivergenceCounterexample(
-                    _trace_from_parents(parents, state, lts.table)
+                _attach_impl_state(
+                    DivergenceCounterexample(
+                        _trace_from_parents(parents, state, lts.table)
+                    ),
+                    lts,
+                    state,
                 ),
                 states_explored=len(order),
                 transitions_explored=transitions,
@@ -449,7 +505,11 @@ def check_deterministic(lts: LTS, name: str = "deterministic") -> CheckResult:
                 return NondeterminismCounterexample(trace_to(pair), event)
         return None
 
-    violation = search.run(on_pair=stable_check)
+    violation = _attach_impl_state(
+        search.run(on_pair=stable_check),
+        lts,
+        search.violation_pair[0] if search.violation_pair else None,
+    )
     return CheckResult(
         name,
         violation is None,

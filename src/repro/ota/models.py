@@ -334,8 +334,9 @@ def build_secured_system(
         universe=payloads,
         initial_knowledge=initial_knowledge,
     )
-    attacked = builder.compose_with(ref("HONEST_SYSTEM"), env)
-    env.bind("ATTACKED_SYSTEM", attacked)
+    builder.compose_with(
+        ref("HONEST_SYSTEM"), env, register_as="ATTACKED_SYSTEM"
+    )
 
     forbidden = (apply_channel("upd2"),)
     agreement = tuple(

@@ -83,8 +83,17 @@ def requirement(req_id: str) -> Requirement:
 _CACHE = CompilationCache()
 
 
-def _discharge(spec: Process, impl: Process, env: Environment, name: str) -> CheckResult:
-    pipeline = VerificationPipeline(env, cache=_CACHE)
+def _discharge(
+    spec: Process,
+    impl: Process,
+    env: Environment,
+    name: str,
+    passes: str = "default",
+) -> CheckResult:
+    # composed session systems (ECUs, the VMG, an intruder where present)
+    # run compress-before-compose; the ablation benchmark calls this with
+    # passes="none" to measure the uncompressed product
+    pipeline = VerificationPipeline(env, cache=_CACHE, passes=passes)
     return pipeline.refinement(spec, impl, "T", name)
 
 

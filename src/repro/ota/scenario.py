@@ -121,7 +121,10 @@ def run_workflow(
     # with timer events free to occur (they are internal to the nodes)
     system = model.process("SYSTEM_DATA" if "SYSTEM_DATA" in model.env else "SYSTEM")
     pipeline = VerificationPipeline(model.env, max_states=max_states)
-    lts = pipeline.compile(system)
+    # trace admission is a trace-level question, so the composed system may
+    # be walked in its compressed form (compress-before-compose)
+    prepared = pipeline.plan.prepare(system, "T")
+    lts = pipeline.compile(prepared.term)
     admitted = lts.walk(_simulation_events(log)) is not None
 
     return WorkflowReport(

@@ -19,6 +19,7 @@ normalise   normalisation loses traces, nondeterminism, or determinism
 refinement  engine ``[T=`` verdict differs from the subset definition
 lazy-eager  on-the-fly and eager refinement disagree (verdict or cex)
 cache       a compilation-cache hit changes a verdict or counterexample
+compression a semantic pass changes a verdict, counterexample or deadlock
 roundtrip   emitting CSPm and re-parsing changes the trace semantics
 extractor   the CAPL interpreter exhibits a trace the extracted model lacks
 ========== ==============================================================
@@ -332,6 +333,58 @@ def check_cache(value) -> None:
                 _genuine_counterexample(spec, impl, cold, "cold")
 
 
+# -- oracle: compression passes -----------------------------------------------------
+
+#: the pass configurations cross-checked against the uncompressed baseline:
+#: every pass alone, the default pipeline, and the trace-only normalisation
+#: combination (silently skipped by the plan for failures-model checks).
+_PASS_COMBOS: Tuple[str, ...] = (
+    "dead",
+    "tau_loop",
+    "diamond",
+    "sbisim",
+    "default",
+    "normal,sbisim",
+)
+
+
+def _compression_input() -> Gen:
+    return g.tuples(_PROCESSES, _PROCESSES, g.sampled_from(["T", "F"]))
+
+
+def check_compression(value) -> None:
+    spec, impl, model = value
+    if model not in ("T", "F"):
+        raise Discard
+    baseline = VerificationPipeline(passes="none").refinement(spec, impl, model)
+    if not baseline.passed:
+        _genuine_counterexample(spec, impl, baseline, "uncompressed")
+    baseline_deadlock = VerificationPipeline(passes="none").property_check(
+        impl, "deadlock free"
+    )
+    for combo in _PASS_COMBOS:
+        compressed = VerificationPipeline(passes=combo).refinement(spec, impl, model)
+        if compressed.passed != baseline.passed:
+            raise OracleViolation(
+                "{!r} [{}= {!r}: passes={!r} says {}, uncompressed says "
+                "{}".format(spec, model, impl, combo, compressed.passed, baseline.passed)
+            )
+        if not compressed.passed:
+            _genuine_counterexample(
+                spec, impl, compressed, "passes={}".format(combo)
+            )
+        deadlock = VerificationPipeline(passes=combo).property_check(
+            impl, "deadlock free"
+        )
+        if deadlock.passed != baseline_deadlock.passed:
+            raise OracleViolation(
+                "deadlock-freedom of {!r}: passes={!r} says {}, uncompressed "
+                "says {}".format(
+                    impl, combo, deadlock.passed, baseline_deadlock.passed
+                )
+            )
+
+
 # -- oracle: CSPm emit/parse round-trip ---------------------------------------------
 
 _SEND = Channel("send", ["reqSw", "rptSw"])
@@ -474,6 +527,15 @@ _register(
         "repro.engine.cache",
         g.tuples(_PROCESSES, _PROCESSES, _PROCESSES),
         check_cache,
+    )
+)
+_register(
+    Oracle(
+        "compression",
+        "semantic passes never change a verdict, counterexample or deadlock",
+        "repro.passes, repro.engine.plan",
+        _compression_input(),
+        check_compression,
     )
 )
 _register(

@@ -135,15 +135,29 @@ class IntruderBuilder:
         system: Process,
         env: Environment,
         extra_sync: Optional[Alphabet] = None,
+        register_as: Optional[str] = None,
     ) -> Process:
-        """``SYSTEM [| listen ∪ inject |] INTRUDER`` -- the attacked system."""
+        """``SYSTEM [| listen ∪ inject |] INTRUDER`` -- the attacked system.
+
+        The composition is a plain :class:`GenParallel`, so a verification
+        pipeline's compilation plan decomposes it and compresses the system
+        and the intruder family independently before building the attacked
+        product -- the intruder's knowledge lattice minimises particularly
+        well, since many knowledge states are behaviourally equivalent.
+        With *register_as*, the composition is also bound into *env* under
+        that name, giving checks (and provenance labels) a stable reference.
+        """
         intruder = self.build(env)
         sync = Alphabet.from_channels(*self.listen_channels) | Alphabet.from_channels(
             *self.inject_channels
         )
         if extra_sync is not None:
             sync = sync | extra_sync
-        return GenParallel(system, intruder, sync)
+        composed = GenParallel(system, intruder, sync)
+        if register_as is not None:
+            env.bind(register_as, composed)
+            return ProcessRef(register_as)
+        return composed
 
 
 def replay_attacker(

@@ -115,7 +115,11 @@ def run_suite(
     pipeline = VerificationPipeline(
         env or Environment(), cache=shared_cache(), max_states=max_states
     )
-    spec_lts = pipeline.compile(specification)
+    # composed specifications go through the compilation plan: trace
+    # membership (walk) is invariant under the trace-preserving passes, and
+    # the harness then walks the compressed product instead of the full one
+    prepared = pipeline.plan.prepare(specification, "T")
+    spec_lts = pipeline.compile(prepared.term)
     verdicts = [
         run_test(
             ecu_source, test, message_specs, spec_lts, in_channel, out_channel
