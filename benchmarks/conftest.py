@@ -14,6 +14,24 @@ import pytest
 OUT_DIR = pathlib.Path(__file__).parent / "out"
 
 
+def merge_bench_profile(section, payload):
+    """Fold one bench's per-stage profile data into BENCH_profile.json.
+
+    Shared by the profile bench and the scalability/compression benches,
+    which re-emit their traced runs here so the perf trajectory stays
+    attributable per pipeline stage across PRs.
+    """
+    path = OUT_DIR / "BENCH_profile.json"
+    OUT_DIR.mkdir(exist_ok=True)
+    data = {}
+    if path.exists():
+        data = json.loads(path.read_text(encoding="utf-8"))
+    data[section] = payload
+    path.write_text(
+        json.dumps(data, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
 @pytest.fixture
 def artifact():
     """Write a regenerated table/figure to benchmarks/out/<name>.txt."""

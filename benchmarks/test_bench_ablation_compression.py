@@ -22,8 +22,11 @@ verdict-agreement gate.
 
 import time
 
+from conftest import merge_bench_profile
+
 from repro.csp import Alphabet, Environment, ExternalChoice, Prefix, event, interleave_all, ref
 from repro.engine import VerificationPipeline
+from repro.obs import Tracer
 from repro.ota.models import (
     build_paper_system,
     build_secured_system,
@@ -73,7 +76,18 @@ def _compare(name, make):
         cex_trace = [str(e) for e in compressed.counterexample.full_trace]
     assert compressed.states_explored <= uncompressed.states_explored, name
 
+    # re-run the compressed path traced: BENCH_profile.json keeps the
+    # per-stage breakdown behind these end-to-end numbers
+    env, spec, impl = make()
+    traced = VerificationPipeline(env, passes="default", obs=Tracer()).refinement(
+        spec, impl, "T"
+    )
+    assert traced.passed == compressed.passed, name
+
     return {
+        "profile_stages": {
+            stage: round(ms, 3) for stage, ms in traced.profile.ordered_stages()
+        },
         "system": name,
         "passed": compressed.passed,
         "counterexample": cex_trace,
@@ -156,6 +170,10 @@ def test_bench_ablation_compression(benchmark, artifact, json_artifact):
     assert all(row["passes"] for row in rows)
 
     json_artifact("BENCH_compression", {"cases": rows})
+    merge_bench_profile(
+        "compression",
+        {row["system"]: row["profile_stages"] for row in rows},
+    )
 
     lines = [
         "Ablation: compress-before-compose vs. the raw composition",

@@ -20,9 +20,10 @@ import time
 from repro.csp import Channel, Environment, Prefix, ref
 from repro.engine import VerificationPipeline
 from repro.fdr import check_trace_refinement_from
+from repro.obs import Tracer
 from repro.security.properties import run_process
 
-from conftest import OUT_DIR
+from conftest import OUT_DIR, merge_bench_profile
 
 
 def _merge_bench_json(section, rows):
@@ -117,6 +118,23 @@ def test_bench_scalability_components(benchmark, artifact):
     )
 
 
+def _traced_message_space_check(size):
+    """One sweep point re-run under an enabled tracer, for BENCH_profile."""
+    from repro.csp import input_choice
+
+    channel = Channel("bus", list(range(size)))
+    env = Environment()
+    env.bind(
+        "SRV",
+        input_choice(channel, lambda _v: input_choice(channel, lambda _w: ref("SRV"))),
+    )
+    spec = run_process(channel.alphabet(), env, "RUNALL")
+    pipeline = VerificationPipeline(env, obs=Tracer())
+    result = pipeline.refinement(spec, ref("SRV"), "T")
+    assert result.passed
+    return result.profile
+
+
 def test_bench_scalability_message_space(benchmark, artifact):
     rows = benchmark(message_space_sweep)
     lines = [
@@ -137,6 +155,11 @@ def test_bench_scalability_message_space(benchmark, artifact):
             for m, s, tr, t in rows
         ],
     )
+    # re-emit the largest sweep point's per-stage breakdown so the
+    # end-to-end numbers above stay attributable to a pipeline stage
+    profile = _traced_message_space_check(32)
+    assert abs(profile.stage_sum() - profile.total_ms) <= 0.10 * profile.total_ms
+    merge_bench_profile("scalability_message_space_32", profile.as_dict())
 
 
 def intruder_lattice_sweep():

@@ -21,28 +21,67 @@ The package provides every stage of the paper's Fig. 1 toolchain:
 * :mod:`repro.testgen`    -- model-based test generation + conformance runs
 * :mod:`repro.ota`        -- the X.1373 software-update case study
 
-Quickstart::
+Quickstart -- the :mod:`repro.api` facade is the supported entry point::
+
+    from repro import api
+    result = api.verify_requirement("R02")      # paper Table III
+    result = api.check_refinement(spec, impl, model="T", env=env)
+    result = api.check_deadlock(system, env=env)
+
+or the whole case study at once::
 
     from repro.ota import run_workflow
     report = run_workflow(flawed=True)   # seed the integrity defect
     print(report.summary())              # SP02 fails with the insecure trace
 """
 
-from . import canbus, candb, capl, csp, cspm, engine, fdr, ota, security, testgen, translator
+from . import (
+    api,
+    canbus,
+    candb,
+    capl,
+    csp,
+    cspm,
+    engine,
+    fdr,
+    obs,
+    ota,
+    security,
+    testgen,
+    translator,
+)
+from .api import (
+    check_deadlock,
+    check_determinism,
+    check_divergence,
+    check_property,
+    check_refinement,
+    extract_model,
+    verify_requirement,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "api",
     "canbus",
     "candb",
     "capl",
+    "check_deadlock",
+    "check_determinism",
+    "check_divergence",
+    "check_property",
+    "check_refinement",
     "csp",
     "cspm",
     "engine",
+    "extract_model",
     "fdr",
+    "obs",
     "ota",
     "security",
     "testgen",
     "translator",
+    "verify_requirement",
     "__version__",
 ]

@@ -1,0 +1,162 @@
+"""repro.api -- the one-import facade over the verification toolchain.
+
+The paper's workflow (Fig. 1) has three programmatic entry points: check a
+refinement, check a behavioural property, and extract a CSPm model from ECU
+source.  This module is exactly that surface::
+
+    from repro import api
+
+    result = api.check_refinement(spec, impl, model="T", env=env)
+    result = api.check_deadlock(system, env=env)
+    result = api.verify_requirement("R02")        # paper Table III
+    extraction = api.extract_model(capl_source)   # CAPL -> CSPm
+
+Every check routes through one :class:`~repro.engine.pipeline.
+VerificationPipeline` built the same way, so facade calls and hand-built
+pipelines produce identical :class:`~repro.fdr.refine.CheckResult` objects
+-- the facade adds no semantics, only defaults.  Pass ``obs=Tracer()`` to
+any check to get a per-stage :class:`~repro.obs.Profile` on the result.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .csp.lts import DEFAULT_STATE_LIMIT
+from .csp.process import Environment, Process
+from .engine.cache import CompilationCache
+from .engine.pipeline import VerificationPipeline
+from .fdr.refine import CheckResult
+from .obs.trace import Tracer
+from .passes.base import PassSpec
+
+__all__ = [
+    "check_refinement",
+    "check_property",
+    "check_deadlock",
+    "check_divergence",
+    "check_determinism",
+    "verify_requirement",
+    "extract_model",
+]
+
+
+def _pipeline(
+    env: Optional[Environment],
+    max_states: int,
+    passes: PassSpec,
+    on_the_fly: bool,
+    cache: Optional[CompilationCache],
+    table,
+    obs: Optional[Tracer],
+) -> VerificationPipeline:
+    return VerificationPipeline(
+        env if env is not None else Environment(),
+        table=table,
+        cache=cache,
+        max_states=max_states,
+        on_the_fly=on_the_fly,
+        passes=passes,
+        obs=obs,
+    )
+
+
+def check_refinement(
+    spec: Process,
+    impl: Process,
+    model: str = "T",
+    *,
+    env: Optional[Environment] = None,
+    name: Optional[str] = None,
+    max_states: int = DEFAULT_STATE_LIMIT,
+    passes: PassSpec = "default",
+    on_the_fly: bool = True,
+    cache: Optional[CompilationCache] = None,
+    table=None,
+    obs: Optional[Tracer] = None,
+) -> CheckResult:
+    """Discharge ``spec [model= impl`` (*model* is ``"T"``, ``"F"`` or ``"FD"``).
+
+    The single entry point behind every refinement check in the repo: the
+    CSPm ``assert`` evaluator, the requirement checks of Table III, and the
+    deprecated one-shot wrappers of :mod:`repro.fdr.assertions` all come
+    through here (directly or via a shared pipeline built the same way).
+    """
+    pipeline = _pipeline(env, max_states, passes, on_the_fly, cache, table, obs)
+    return pipeline.refinement(spec, impl, model, name, max_states)
+
+
+def check_property(
+    term: Process,
+    property_name: str,
+    *,
+    env: Optional[Environment] = None,
+    name: Optional[str] = None,
+    max_states: int = DEFAULT_STATE_LIMIT,
+    passes: PassSpec = "default",
+    cache: Optional[CompilationCache] = None,
+    table=None,
+    obs: Optional[Tracer] = None,
+) -> CheckResult:
+    """Discharge ``term :[property]`` -- ``"deadlock free"``,
+    ``"divergence free"`` or ``"deterministic"``."""
+    pipeline = _pipeline(env, max_states, passes, True, cache, table, obs)
+    return pipeline.property_check(term, property_name, name, max_states)
+
+
+def check_deadlock(term: Process, **kwargs) -> CheckResult:
+    """Is *term* deadlock free?  Keyword options as :func:`check_property`."""
+    return check_property(term, "deadlock free", **kwargs)
+
+
+def check_divergence(term: Process, **kwargs) -> CheckResult:
+    """Is *term* divergence free?  Keyword options as :func:`check_property`."""
+    return check_property(term, "divergence free", **kwargs)
+
+
+def check_determinism(term: Process, **kwargs) -> CheckResult:
+    """Is *term* deterministic?  Keyword options as :func:`check_property`."""
+    return check_property(term, "deterministic", **kwargs)
+
+
+def verify_requirement(
+    req_id: str,
+    *,
+    passes: PassSpec = "default",
+    obs: Optional[Tracer] = None,
+) -> CheckResult:
+    """Discharge one requirement of the paper's Table III (``"R01"``..``"R05"``).
+
+    Each requirement builds its session system and specification, then runs
+    through :func:`check_refinement` with the requirements module's shared
+    structural cache.
+    """
+    # deferred: repro.ota builds on this module's check functions
+    from .ota.requirements import check_requirement
+
+    return check_requirement(req_id, passes=passes, obs=obs)
+
+
+def extract_model(
+    capl_source: str,
+    *,
+    node: str = "ECU",
+    in_channel: str = "send",
+    out_channel: str = "rec",
+    include_timers: bool = True,
+):
+    """Extract a CSPm implementation model from CAPL source text.
+
+    Returns the translator's :class:`~repro.translator.extractor.
+    ExtractionResult`; ``.script_text`` is the CSPm model, ``.load()``
+    evaluates it for checking.
+    """
+    # deferred: the translator package is heavy and most callers never extract
+    from .translator.extractor import ExtractorConfig, ModelExtractor
+    from .translator.rules import ChannelConvention
+
+    config = ExtractorConfig(
+        convention=ChannelConvention(in_channel, out_channel),
+        include_timers=include_timers,
+    )
+    return ModelExtractor(config).extract(capl_source, node)

@@ -14,6 +14,12 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
+from ..cli_common import (
+    EXIT_OK,
+    add_observability_args,
+    finish_observability,
+    tracer_from_args,
+)
 from .cspm_export import export_database, message_inventory
 from .parser import parse_dbc_file
 
@@ -38,22 +44,30 @@ def build_arg_parser() -> argparse.ArgumentParser:
         default=8,
         help="widest signal (in bits) to expand into a nametype range",
     )
+    add_observability_args(parser)
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_arg_parser().parse_args(argv)
-    database = parse_dbc_file(args.dbc)
-    if args.inventory:
-        text = message_inventory(database) + "\n"
-    else:
-        text = export_database(database, max_range_bits=args.max_range_bits)
+    tracer = tracer_from_args(args)
+    with tracer.span("run", tool="dbc2cspm", dbc=args.dbc):
+        with tracer.span("parse", dbc=args.dbc):
+            database = parse_dbc_file(args.dbc)
+        with tracer.span("export"):
+            if args.inventory:
+                text = message_inventory(database) + "\n"
+            else:
+                text = export_database(
+                    database, max_range_bits=args.max_range_bits
+                )
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(text)
     else:
         sys.stdout.write(text)
-    return 0
+    finish_observability(args, tracer)
+    return EXIT_OK
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,111 @@
+"""Shared conventions for the four console scripts.
+
+``cspcheck``, ``cspfuzz``, ``capl2cspm`` and ``dbc2cspm`` agree on:
+
+* exit codes -- :data:`EXIT_OK` for success, :data:`EXIT_VIOLATION` when the
+  tool ran but found a failing assertion / oracle violation / failed sanity
+  check, :data:`EXIT_USAGE` for bad invocations and unreadable inputs;
+* observability flags -- ``--profile`` (per-stage wall-time table on stderr)
+  and ``--trace-out=FILE.jsonl`` (full span/metric trace, schema in
+  :mod:`repro.obs.schema`); the tracer is enabled iff one of them is given,
+  so the default run pays the null tracer's no-op cost only;
+* diagnostics on stderr -- statistics, profiles and warnings never mix into
+  stdout, which stays machine-parseable (verdict lines, generated CSPm).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import warnings
+from typing import IO, Iterable, Optional, Tuple
+
+from .obs.profile import Profile, overall_profile
+from .obs.trace import NULL_TRACER, Tracer, export_jsonl
+
+#: the tool ran and everything checked out
+EXIT_OK = 0
+#: the tool ran and found a violation (failed assertion, oracle breach ...)
+EXIT_VIOLATION = 1
+#: the invocation itself was unusable (bad flag value, unreadable input)
+EXIT_USAGE = 2
+
+
+def add_observability_args(parser: argparse.ArgumentParser) -> None:
+    """Install the common ``--profile`` / ``--trace-out`` flags."""
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a per-stage wall-time profile to stderr",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        default=None,
+        help="write the full span/metric trace as JSON Lines to FILE",
+    )
+
+
+def add_seed_arg(parser: argparse.ArgumentParser, default: int = 0) -> None:
+    """Install the common ``--seed`` flag (tools ignore it if undialled)."""
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=default,
+        help="deterministic seed (default: {})".format(default),
+    )
+
+
+def add_stats_arg(parser: argparse.ArgumentParser, help_text: str) -> None:
+    parser.add_argument("--stats", action="store_true", help=help_text)
+
+
+def tracer_from_args(args: argparse.Namespace) -> Tracer:
+    """The run's tracer: live iff ``--profile`` or ``--trace-out`` was given."""
+    if getattr(args, "profile", False) or getattr(args, "trace_out", None):
+        return Tracer()
+    return NULL_TRACER
+
+
+def finish_observability(
+    args: argparse.Namespace,
+    tracer: Tracer,
+    profile: Optional[Profile] = None,
+    stream: Optional[IO[str]] = None,
+) -> None:
+    """Emit whatever the observability flags asked for, after the run.
+
+    The profile table goes to *stream* (stderr by default, like every other
+    diagnostic); the trace file goes wherever ``--trace-out`` said.
+    """
+    if not tracer.enabled:
+        return
+    out = stream if stream is not None else sys.stderr
+    if getattr(args, "profile", False):
+        if profile is None:
+            profile = overall_profile(tracer)
+        out.write(profile.table() + "\n")
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out:
+        records = export_jsonl(tracer, trace_out)
+        out.write(
+            "trace: {} records written to {}\n".format(records, trace_out)
+        )
+
+
+def emit_stats(
+    pairs: Iterable[Tuple[str, object]], stream: Optional[IO[str]] = None
+) -> None:
+    """Write ``stat key: value`` diagnostic lines (stderr by default)."""
+    out = stream if stream is not None else sys.stderr
+    for key, value in pairs:
+        out.write("stat {}: {}\n".format(key, value))
+
+
+def warn_deprecated(old: str, new: str) -> None:
+    """One-line deprecation warning pointing at the :mod:`repro.api` facade."""
+    warnings.warn(
+        "{} is deprecated; use {} instead".format(old, new),
+        DeprecationWarning,
+        stacklevel=3,
+    )

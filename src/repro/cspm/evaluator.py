@@ -182,6 +182,7 @@ class CspmModel:
                 result.states_explored,
                 result.transitions_explored,
                 pass_stats=result.pass_stats,
+                profile=result.profile,
             )
             return flipped
         return result

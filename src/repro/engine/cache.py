@@ -16,6 +16,7 @@ from typing import Dict, Optional, Tuple
 from ..csp.lts import LTS, StateSpaceLimitExceeded
 from ..csp.process import Environment, Process, ProcessRef
 from ..fdr.normalise import NormalisedSpec
+from ..obs.trace import NULL_TRACER, Tracer
 
 #: (root fingerprint, sorted (name, body fingerprint) of reachable bindings)
 CacheKey = Tuple[str, Tuple[Tuple[str, str], ...]]
@@ -83,15 +84,26 @@ class CompilationCache:
         self.normalised_misses = 0
         self.compressed_hits = 0
         self.compressed_misses = 0
+        #: tracer whose metrics mirror the hit/miss counters; bound by the
+        #: pipeline when observability is enabled, otherwise the null tracer
+        self.obs: Tracer = NULL_TRACER
+
+    def _record(self, kind: str, hit: bool) -> None:
+        suffix = "hits" if hit else "misses"
+        self.obs.metrics.counter("cache.{}_{}".format(kind, suffix)).inc()
 
     def get_lts(self, key: CacheKey, max_states: int) -> Optional[LTS]:
         cached = self._lts.get(key)
         if cached is None:
             self.lts_misses += 1
+            if self.obs.enabled:
+                self._record("lts", False)
             return None
         if cached.state_count > max_states:
             raise StateSpaceLimitExceeded(max_states)
         self.lts_hits += 1
+        if self.obs.enabled:
+            self._record("lts", True)
         return cached
 
     def put_lts(self, key: CacheKey, lts: LTS) -> None:
@@ -103,12 +115,16 @@ class CompilationCache:
         cached = self._normalised.get(key)
         if cached is None:
             self.normalised_misses += 1
+            if self.obs.enabled:
+                self._record("normalised", False)
             return None
         # the source LTS is cached under the same key; let its budget check run
         source = self._lts.get(key)
         if source is not None and source.state_count > max_states:
             raise StateSpaceLimitExceeded(max_states)
         self.normalised_hits += 1
+        if self.obs.enabled:
+            self._record("normalised", True)
         return cached
 
     def put_normalised(self, key: CacheKey, spec: NormalisedSpec) -> None:
@@ -120,6 +136,8 @@ class CompilationCache:
             self.compressed_misses += 1
         else:
             self.compressed_hits += 1
+        if self.obs.enabled:
+            self._record("compressed", cached is not None)
         return cached
 
     def put_compressed(

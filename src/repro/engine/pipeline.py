@@ -28,6 +28,8 @@ from ..fdr.refine import (
     check_fd_refinement,
     check_trace_refinement_from,
 )
+from ..obs.profile import profile_of
+from ..obs.trace import NULL_TRACER, Tracer, ensure_tracer
 from ..passes.base import PassSpec, resolve_passes
 from .cache import CompilationCache, structural_key
 from .plan import CompilationPlan, PreparedTerm, component_provenance
@@ -51,6 +53,7 @@ class VerificationPipeline:
         max_states: int = DEFAULT_STATE_LIMIT,
         on_the_fly: bool = True,
         passes: PassSpec = "default",
+        obs: Optional[Tracer] = None,
     ) -> None:
         self.env = env if env is not None else Environment()
         self.table = table if table is not None else AlphabetTable()
@@ -60,6 +63,11 @@ class VerificationPipeline:
         self.passes = resolve_passes(passes)
         self.plan = CompilationPlan(self, self.passes)
         self.checks_run = 0
+        #: the observability sink; the null tracer unless the caller opts in
+        self.obs: Tracer = ensure_tracer(obs)
+        if self.obs.enabled:
+            # mirror cache hit/miss counts into the tracer's metrics
+            self.cache.obs = self.obs
 
     # -- compilation ---------------------------------------------------------
 
@@ -70,7 +78,16 @@ class VerificationPipeline:
         cached = self.cache.get_lts(key, limit)
         if cached is not None:
             return cached
-        lts = compile_lts(process, self.env, limit, self.table)
+        obs = self.obs
+        if obs.enabled:
+            with obs.span("compile") as span:
+                lts = compile_lts(process, self.env, limit, self.table)
+                span.set_tag("states", lts.state_count)
+            metrics = obs.metrics
+            metrics.counter("compile.states").inc(lts.state_count)
+            metrics.counter("compile.transitions").inc(lts.transition_count)
+        else:
+            lts = compile_lts(process, self.env, limit, self.table)
         self.cache.put_lts(key, lts)
         return lts
 
@@ -83,7 +100,14 @@ class VerificationPipeline:
         cached = self.cache.get_normalised(key, limit)
         if cached is not None:
             return cached
-        spec = normalise(self.compile(process, limit))
+        lts = self.compile(process, limit)
+        obs = self.obs
+        if obs.enabled:
+            with obs.span("normalise", states=lts.state_count) as span:
+                spec = normalise(lts, obs=obs)
+                span.set_tag("nodes", spec.node_count)
+        else:
+            spec = normalise(lts)
         self.cache.put_normalised(key, spec)
         return spec
 
@@ -117,30 +141,35 @@ class VerificationPipeline:
             )
         label = name or "{!r} [{}= {!r}".format(spec, model, impl)
         self.checks_run += 1
-        prepared_spec = self.plan.prepare(spec, model, max_states)
-        prepared_impl = self.plan.prepare(impl, model, max_states)
-        if model == "FD":
-            result = check_fd_refinement(
-                self.compile(prepared_spec.term, max_states),
-                self.compile(prepared_impl.term, max_states),
-                label,
-            )
-        else:
-            normalised_spec = self.normalised(prepared_spec.term, max_states)
-            implementation = (
-                self.lazy(prepared_impl.term, max_states)
-                if self.on_the_fly
-                else self.compile(prepared_impl.term, max_states)
-            )
-            if model == "T":
-                result = check_trace_refinement_from(
-                    normalised_spec, implementation, label
-                )
+        obs = self.obs
+        with obs.span("check", name=label, model=model) as root:
+            with obs.span("plan"):
+                prepared_spec = self.plan.prepare(spec, model, max_states)
+                prepared_impl = self.plan.prepare(impl, model, max_states)
+            if model == "FD":
+                spec_lts = self.compile(prepared_spec.term, max_states)
+                impl_lts = self.compile(prepared_impl.term, max_states)
+                # the FD check normalises its spec internally, so that
+                # normalisation's wall time lands in the refine stage
+                with obs.span("refine", model=model):
+                    result = check_fd_refinement(spec_lts, impl_lts, label, obs)
             else:
-                result = check_failures_refinement_from(
-                    normalised_spec, implementation, label
+                normalised_spec = self.normalised(prepared_spec.term, max_states)
+                implementation = (
+                    self.lazy(prepared_impl.term, max_states)
+                    if self.on_the_fly
+                    else self.compile(prepared_impl.term, max_states)
                 )
-        return self._finish(result, prepared_spec, prepared_impl)
+                with obs.span("refine", model=model):
+                    if model == "T":
+                        result = check_trace_refinement_from(
+                            normalised_spec, implementation, label, obs
+                        )
+                    else:
+                        result = check_failures_refinement_from(
+                            normalised_spec, implementation, label, obs
+                        )
+        return self._finish(result, root, prepared_spec, prepared_impl)
 
     def property_check(
         self,
@@ -160,20 +189,29 @@ class VerificationPipeline:
             ) from None
         label = name or "{!r} :[{}]".format(process, property_name)
         self.checks_run += 1
-        # property checks observe failures and divergences, so only
-        # FD-preserving passes may rewrite the process
-        prepared = self.plan.prepare(process, "FD", max_states)
-        result = checker(self.compile(prepared.term, max_states), label)
-        return self._finish(result, prepared)
+        obs = self.obs
+        with obs.span("check", name=label, property=property_name) as root:
+            # property checks observe failures and divergences, so only
+            # FD-preserving passes may rewrite the process
+            with obs.span("plan"):
+                prepared = self.plan.prepare(process, "FD", max_states)
+            lts = self.compile(prepared.term, max_states)
+            with obs.span("refine", property=property_name):
+                result = checker(lts, label, obs)
+        return self._finish(result, root, prepared)
 
-    def _finish(self, result: CheckResult, *prepared: PreparedTerm) -> CheckResult:
-        """Attach pass statistics and component provenance to a result."""
+    def _finish(
+        self, result: CheckResult, root, *prepared: PreparedTerm
+    ) -> CheckResult:
+        """Attach pass statistics, provenance and the profile to a result."""
         result.pass_stats = tuple(
             stat for item in prepared for stat in item.pass_stats
         )
         violation = result.counterexample
         if violation is not None and violation.impl_term is not None:
             violation.provenance = component_provenance(violation.impl_term)
+        if self.obs.enabled:
+            result.profile = profile_of(self.obs, root)
         return result
 
     # -- introspection -------------------------------------------------------

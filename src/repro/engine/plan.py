@@ -337,6 +337,7 @@ class CompilationPlan:
         pipeline = self.pipeline
         key = structural_key(term, pipeline.env)
         pass_names = tuple(p.name for p in passes)
+        obs = pipeline.obs
         automaton = pipeline.cache.get_compressed(key, pass_names)
         if automaton is None:
             try:
@@ -345,7 +346,11 @@ class CompilationPlan:
                 # the component alone is too big (composition may restrict
                 # it) or not compilable: keep the SOS leaf, degrade gracefully
                 return term
-            compressed, provenance, pass_stats = apply_passes(source, passes)
+            compressed, provenance, pass_stats = apply_passes(
+                source, passes, obs
+            )
+            if obs.enabled:
+                obs.metrics.counter("plan.components_compiled").inc()
             token = hashlib.sha256(
                 repr((key, pass_names)).encode("utf-8")
             ).hexdigest()[:16]

@@ -9,11 +9,10 @@ them, producing a report of verdicts and counterexamples.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, TYPE_CHECKING
 
 from ..csp.lts import DEFAULT_STATE_LIMIT, LTS, compile_lts
 from ..csp.process import Environment, Process
-from ..engine.pipeline import VerificationPipeline
 from .refine import (
     CheckResult,
     check_fd_refinement,
@@ -23,6 +22,17 @@ from .refine import (
     check_failures_refinement,
     check_trace_refinement,
 )
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..engine.pipeline import VerificationPipeline
+
+
+def _make_pipeline(env: Environment, **kwargs) -> "VerificationPipeline":
+    # deferred: repro.engine imports this package (fdr) for result types,
+    # so a module-level import here would close an import cycle
+    from ..engine.pipeline import VerificationPipeline
+
+    return VerificationPipeline(env, **kwargs)
 
 
 class Assertion:
@@ -70,7 +80,7 @@ class RefinementAssertion(Assertion):
         max_states: int = DEFAULT_STATE_LIMIT,
         pipeline: Optional[VerificationPipeline] = None,
     ) -> CheckResult:
-        pipe = pipeline or VerificationPipeline(env, max_states=max_states)
+        pipe = pipeline or _make_pipeline(env, max_states=max_states)
         return pipe.refinement(
             self.spec, self.impl, self.model, self.name, max_states
         )
@@ -102,7 +112,7 @@ class PropertyAssertion(Assertion):
         max_states: int = DEFAULT_STATE_LIMIT,
         pipeline: Optional[VerificationPipeline] = None,
     ) -> CheckResult:
-        pipe = pipeline or VerificationPipeline(env, max_states=max_states)
+        pipe = pipeline or _make_pipeline(env, max_states=max_states)
         return pipe.property_check(
             self.process, self.property_name, self.name, max_states
         )
@@ -127,7 +137,7 @@ class Session:
         #: *passes* configures compress-before-compose for every assertion
         #: in the session: "default", "none", or a comma-separated pass list
         #: (see repro.passes.resolve_passes)
-        self.pipeline = VerificationPipeline(self.env, passes=passes)
+        self.pipeline = _make_pipeline(self.env, passes=passes)
 
     def define(self, name: str, body: Process) -> "Session":
         self.env.bind(name, body)
@@ -165,7 +175,12 @@ class Session:
         return "\n".join(lines)
 
 
-# -- one-shot convenience wrappers ------------------------------------------
+# -- one-shot convenience wrappers (deprecated; use repro.api) ---------------
+#
+# These predate the repro.api facade and survive for source compatibility
+# only.  Each delegates to the facade -- the pipeline built there is
+# configured identically, so results (labels included) are unchanged -- and
+# raises a DeprecationWarning pointing at the replacement.
 
 
 def trace_refinement(
@@ -175,9 +190,16 @@ def trace_refinement(
     name: Optional[str] = None,
     max_states: int = DEFAULT_STATE_LIMIT,
 ) -> CheckResult:
-    """Check ``spec [T= impl`` in one call."""
-    return RefinementAssertion(spec, impl, "T", name).check(
-        env or Environment(), max_states
+    """Check ``spec [T= impl`` in one call.
+
+    .. deprecated:: use :func:`repro.api.check_refinement` instead.
+    """
+    from ..api import check_refinement
+    from ..cli_common import warn_deprecated
+
+    warn_deprecated("trace_refinement", "repro.api.check_refinement")
+    return check_refinement(
+        spec, impl, "T", env=env, name=name, max_states=max_states
     )
 
 
@@ -188,9 +210,16 @@ def fd_refinement(
     name: Optional[str] = None,
     max_states: int = DEFAULT_STATE_LIMIT,
 ) -> CheckResult:
-    """Check ``spec [FD= impl`` in one call."""
-    return RefinementAssertion(spec, impl, "FD", name).check(
-        env or Environment(), max_states
+    """Check ``spec [FD= impl`` in one call.
+
+    .. deprecated:: use :func:`repro.api.check_refinement` instead.
+    """
+    from ..api import check_refinement
+    from ..cli_common import warn_deprecated
+
+    warn_deprecated("fd_refinement", "repro.api.check_refinement")
+    return check_refinement(
+        spec, impl, "FD", env=env, name=name, max_states=max_states
     )
 
 
@@ -201,9 +230,16 @@ def failures_refinement(
     name: Optional[str] = None,
     max_states: int = DEFAULT_STATE_LIMIT,
 ) -> CheckResult:
-    """Check ``spec [F= impl`` in one call."""
-    return RefinementAssertion(spec, impl, "F", name).check(
-        env or Environment(), max_states
+    """Check ``spec [F= impl`` in one call.
+
+    .. deprecated:: use :func:`repro.api.check_refinement` instead.
+    """
+    from ..api import check_refinement
+    from ..cli_common import warn_deprecated
+
+    warn_deprecated("failures_refinement", "repro.api.check_refinement")
+    return check_refinement(
+        spec, impl, "F", env=env, name=name, max_states=max_states
     )
 
 
@@ -212,9 +248,12 @@ def deadlock_free(
     env: Optional[Environment] = None,
     max_states: int = DEFAULT_STATE_LIMIT,
 ) -> CheckResult:
-    return PropertyAssertion(process, "deadlock free").check(
-        env or Environment(), max_states
-    )
+    """.. deprecated:: use :func:`repro.api.check_deadlock` instead."""
+    from ..api import check_deadlock
+    from ..cli_common import warn_deprecated
+
+    warn_deprecated("deadlock_free", "repro.api.check_deadlock")
+    return check_deadlock(process, env=env, max_states=max_states)
 
 
 def divergence_free(
@@ -222,9 +261,12 @@ def divergence_free(
     env: Optional[Environment] = None,
     max_states: int = DEFAULT_STATE_LIMIT,
 ) -> CheckResult:
-    return PropertyAssertion(process, "divergence free").check(
-        env or Environment(), max_states
-    )
+    """.. deprecated:: use :func:`repro.api.check_divergence` instead."""
+    from ..api import check_divergence
+    from ..cli_common import warn_deprecated
+
+    warn_deprecated("divergence_free", "repro.api.check_divergence")
+    return check_divergence(process, env=env, max_states=max_states)
 
 
 def deterministic(
@@ -232,6 +274,9 @@ def deterministic(
     env: Optional[Environment] = None,
     max_states: int = DEFAULT_STATE_LIMIT,
 ) -> CheckResult:
-    return PropertyAssertion(process, "deterministic").check(
-        env or Environment(), max_states
-    )
+    """.. deprecated:: use :func:`repro.api.check_determinism` instead."""
+    from ..api import check_determinism
+    from ..cli_common import warn_deprecated
+
+    warn_deprecated("deterministic", "repro.api.check_determinism")
+    return check_determinism(process, env=env, max_states=max_states)

@@ -4,6 +4,9 @@ The direct FDR-replacement workflow: load a ``.csp`` file, discharge every
 ``assert`` in it, print FDR-style verdicts with counterexample traces, and
 exit non-zero if any assertion fails.
 
+Verdict lines go to stdout; every diagnostic (``--stats``, ``--profile``,
+warnings) goes to stderr, so stdout stays machine-parseable.
+
 Usage::
 
     cspcheck model.csp                    # run the script's assertions
@@ -13,6 +16,8 @@ Usage::
     cspcheck model.csp --stats            # cache/alphabet/pass statistics
     cspcheck model.csp --compress=none    # disable compress-before-compose
     cspcheck model.csp --compress=tau_loop,sbisim   # explicit pass list
+    cspcheck model.csp --profile          # per-stage wall-time table
+    cspcheck model.csp --trace-out=t.jsonl  # full span/metric trace
 """
 
 from __future__ import annotations
@@ -21,6 +26,16 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
+from ..cli_common import (
+    EXIT_OK,
+    EXIT_USAGE,
+    EXIT_VIOLATION,
+    add_observability_args,
+    add_stats_arg,
+    emit_stats,
+    finish_observability,
+    tracer_from_args,
+)
 from ..cspm.evaluator import load_file
 from ..engine.pipeline import VerificationPipeline
 
@@ -45,10 +60,9 @@ def build_arg_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="fully compile implementations instead of on-the-fly expansion",
     )
-    parser.add_argument(
-        "--stats",
-        action="store_true",
-        help="print pipeline statistics (cache hits, interned events) at the end",
+    add_stats_arg(
+        parser,
+        "print pipeline statistics (cache hits, interned events) to stderr",
     )
     parser.add_argument(
         "--compress",
@@ -58,28 +72,33 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "'default' (dead,tau_loop,diamond,sbisim), 'none', or a "
         "comma-separated pass list (e.g. 'tau_loop,sbisim,normal')",
     )
+    add_observability_args(parser)
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_arg_parser().parse_args(argv)
-    model = load_file(args.script)
-    if not model.assertions:
-        sys.stderr.write("warning: script declares no assertions\n")
-        return 0
-    try:
-        pipeline = VerificationPipeline(
-            model.env,
-            max_states=int(args.max_states),
-            on_the_fly=not args.eager,
-            passes=args.compress,
+    tracer = tracer_from_args(args)
+    with tracer.span("run", tool="cspcheck", script=args.script):
+        with tracer.span("parse", script=args.script):
+            model = load_file(args.script)
+        if not model.assertions:
+            sys.stderr.write("warning: script declares no assertions\n")
+            return EXIT_OK
+        try:
+            pipeline = VerificationPipeline(
+                model.env,
+                max_states=int(args.max_states),
+                on_the_fly=not args.eager,
+                passes=args.compress,
+                obs=tracer,
+            )
+        except KeyError as error:
+            sys.stderr.write("error: {}\n".format(error.args[0]))
+            return EXIT_USAGE
+        results = model.check_assertions(
+            max_states=int(args.max_states), pipeline=pipeline
         )
-    except KeyError as error:
-        sys.stderr.write("error: {}\n".format(error.args[0]))
-        return 2
-    results = model.check_assertions(
-        max_states=int(args.max_states), pipeline=pipeline
-    )
     failed = 0
     for result in results:
         if not result.passed:
@@ -90,14 +109,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "{}/{} assertions passed\n".format(len(results) - failed, len(results))
     )
     if args.stats:
-        for key, value in sorted(pipeline.stats().items()):
-            sys.stdout.write("stat {}: {}\n".format(key, value))
+        emit_stats(sorted(pipeline.stats().items()))
         for result in results:
             for stat in result.pass_stats:
-                sys.stdout.write(
+                sys.stderr.write(
                     "compress [{}] {}\n".format(result.name, stat.summary())
                 )
-    return 1 if failed else 0
+    finish_observability(args, tracer)
+    return EXIT_VIOLATION if failed else EXIT_OK
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -201,8 +201,12 @@ def tau_cycle_states(lts: LTS) -> FrozenSet[StateId]:
     return frozenset(divergent)
 
 
-def normalise(lts: LTS) -> NormalisedSpec:
-    """Normalise an LTS: tau-closure plus subset construction with acceptances."""
+def normalise(lts: LTS, obs=None) -> NormalisedSpec:
+    """Normalise an LTS: tau-closure plus subset construction with acceptances.
+
+    With an enabled tracer as *obs*, records the subset-construction blowup
+    (``normalise.input_states`` vs ``normalise.nodes``) into its metrics.
+    """
     table = lts.table
     spec = NormalisedSpec(table)
     divergent_states = tau_cycle_states(lts)
@@ -251,4 +255,8 @@ def normalise(lts: LTS) -> NormalisedSpec:
             spec.afters_ids[node][eid] = node_of(closure)
             if not known:
                 work.append(closure)
+    if obs is not None and obs.enabled:
+        metrics = obs.metrics
+        metrics.counter("normalise.input_states").inc(lts.state_count)
+        metrics.counter("normalise.nodes").inc(spec.node_count)
     return spec

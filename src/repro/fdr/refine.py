@@ -32,6 +32,7 @@ from ..csp.events import AlphabetTable, Event, TAU_ID, TICK_ID
 from ..csp.lts import DEFAULT_STATE_LIMIT, LTS, StateId, StateSpaceLimitExceeded
 from ..csp.process import Environment, Process
 from ..csp.semantics import transitions as sos_transitions
+from ..obs.trace import NULL_TRACER, Tracer
 from .counterexample import (
     Counterexample,
     DeadlockCounterexample,
@@ -59,6 +60,7 @@ class CheckResult:
         states_explored: int = 0,
         transitions_explored: int = 0,
         pass_stats: Tuple = (),
+        profile=None,
     ) -> None:
         self.name = name
         self.passed = passed
@@ -69,6 +71,9 @@ class CheckResult:
         #: (:class:`repro.passes.base.PassStats`) when the check ran through
         #: a compilation plan; empty for uncompressed checks
         self.pass_stats = pass_stats
+        #: per-stage wall-time breakdown (:class:`repro.obs.Profile`) when the
+        #: check ran under an enabled tracer; None otherwise
+        self.profile = profile
 
     def __bool__(self) -> bool:
         return self.passed
@@ -181,6 +186,20 @@ def _attach_impl_state(
     return violation
 
 
+def _emit_search_metrics(obs: Tracer, search: "_ProductSearch") -> None:
+    """Record one finished product search into the tracer's metrics."""
+    if not obs.enabled:
+        return
+    metrics = obs.metrics
+    metrics.counter("refine.states_explored").inc(len(search.parents))
+    metrics.counter("refine.transitions_explored").inc(
+        search.transitions_explored
+    )
+    metrics.gauge("refine.peak_frontier").set_max(search.peak_frontier)
+    if isinstance(search.impl, LazyImplementation):
+        metrics.counter("lazy.states_expanded").inc(search.impl.state_count)
+
+
 class _ProductSearch:
     """BFS over (implementation state, spec node) pairs with trace rebuild.
 
@@ -190,7 +209,12 @@ class _ProductSearch:
     translated lazily through a memo.
     """
 
-    def __init__(self, impl: Implementation, spec: NormalisedSpec) -> None:
+    def __init__(
+        self,
+        impl: Implementation,
+        spec: NormalisedSpec,
+        obs: Tracer = NULL_TRACER,
+    ) -> None:
         self.impl = impl
         self.spec = spec
         self.shared_table = impl.table is spec.table
@@ -203,6 +227,10 @@ class _ProductSearch:
         #: the product pair at which run() found its violation, if any --
         #: provenance threading reads the implementation state out of it
         self.violation_pair: Optional[Pair] = None
+        #: largest BFS queue length seen; tracked only under an enabled
+        #: tracer so the disabled search loop pays one local bool test
+        self._track = obs.enabled
+        self.peak_frontier = 0
 
     def _spec_id(self, eid: int) -> Optional[int]:
         """Translate an impl-table event id to the spec table (None = unknown)."""
@@ -257,49 +285,59 @@ class _ProductSearch:
         start: Pair = (self.impl.initial, self.spec.initial)
         self.parents[start] = (None, None)
         work: deque = deque([start])
-        while work:
-            pair = work.popleft()
-            impl_state, node = pair
-            if on_pair is not None:
-                violation = on_pair(pair, self.trace_to)
-                if violation is not None:
-                    self.violation_pair = pair
-                    return violation
-            if prune is not None and prune(pair):
-                continue
-            for eid, target in self.impl.successors_ids(impl_state):
-                self.transitions_explored += 1
-                if eid == TAU_ID:
-                    next_pair: Pair = (target, node)
-                else:
-                    sid = self._spec_id(eid)
-                    next_node = (
-                        afters_ids[node].get(sid) if sid is not None else None
-                    )
-                    if next_node is None:
+        track = self._track
+        peak = 1
+        try:
+            while work:
+                pair = work.popleft()
+                impl_state, node = pair
+                if on_pair is not None:
+                    violation = on_pair(pair, self.trace_to)
+                    if violation is not None:
                         self.violation_pair = pair
-                        return TraceCounterexample(
-                            self.trace_to(pair), event_of(eid)
+                        return violation
+                if prune is not None and prune(pair):
+                    continue
+                for eid, target in self.impl.successors_ids(impl_state):
+                    self.transitions_explored += 1
+                    if eid == TAU_ID:
+                        next_pair: Pair = (target, node)
+                    else:
+                        sid = self._spec_id(eid)
+                        next_node = (
+                            afters_ids[node].get(sid) if sid is not None else None
                         )
-                    next_pair = (target, next_node)
-                if next_pair not in self.parents:
-                    self.parents[next_pair] = (pair, eid)
-                    work.append(next_pair)
-        return None
+                        if next_node is None:
+                            self.violation_pair = pair
+                            return TraceCounterexample(
+                                self.trace_to(pair), event_of(eid)
+                            )
+                        next_pair = (target, next_node)
+                    if next_pair not in self.parents:
+                        self.parents[next_pair] = (pair, eid)
+                        work.append(next_pair)
+                        if track and len(work) > peak:
+                            peak = len(work)
+            return None
+        finally:
+            if track:
+                self.peak_frontier = peak
 
 
 def check_trace_refinement_from(
     normalised: NormalisedSpec,
     impl: Implementation,
     name: str = "Spec [T= Impl",
+    obs: Tracer = NULL_TRACER,
 ) -> CheckResult:
     """Decide ``Spec ⊑T Impl`` against an already-normalised specification."""
-    search = _ProductSearch(impl, normalised)
+    search = _ProductSearch(impl, normalised, obs)
     violation = _attach_impl_state(
         search.run(),
         impl,
         search.violation_pair[0] if search.violation_pair else None,
     )
+    _emit_search_metrics(obs, search)
     return CheckResult(
         name,
         violation is None,
@@ -313,9 +351,10 @@ def check_failures_refinement_from(
     normalised: NormalisedSpec,
     impl: Implementation,
     name: str = "Spec [F= Impl",
+    obs: Tracer = NULL_TRACER,
 ) -> CheckResult:
     """Decide ``Spec ⊑F Impl`` against an already-normalised specification."""
-    search = _ProductSearch(impl, normalised)
+    search = _ProductSearch(impl, normalised, obs)
 
     def stable_check(pair: Pair, trace_to) -> Optional[Counterexample]:
         impl_state, node = pair
@@ -337,6 +376,7 @@ def check_failures_refinement_from(
         impl,
         search.violation_pair[0] if search.violation_pair else None,
     )
+    _emit_search_metrics(obs, search)
     return CheckResult(
         name,
         violation is None,
@@ -360,7 +400,12 @@ def check_failures_refinement(spec: LTS, impl: LTS, name: str = "Spec [F= Impl")
     return check_failures_refinement_from(normalise(spec), impl, name)
 
 
-def check_fd_refinement(spec: LTS, impl: LTS, name: str = "Spec [FD= Impl") -> CheckResult:
+def check_fd_refinement(
+    spec: LTS,
+    impl: LTS,
+    name: str = "Spec [FD= Impl",
+    obs: Tracer = NULL_TRACER,
+) -> CheckResult:
     """Decide ``Spec ⊑FD Impl`` in the failures-divergences model.
 
     Beyond the stable-failures conditions, the implementation may only
@@ -369,9 +414,9 @@ def check_fd_refinement(spec: LTS, impl: LTS, name: str = "Spec [FD= Impl") -> C
     prunes there, exactly as FDR does).  Divergence detection needs the full
     implementation tau graph, so this check always runs eagerly.
     """
-    normalised = normalise(spec)
+    normalised = normalise(spec, obs=obs)
     impl_divergent = tau_cycle_states(impl)
-    search = _ProductSearch(impl, normalised)
+    search = _ProductSearch(impl, normalised, obs)
 
     def fd_check(pair: Pair, trace_to) -> Optional[Counterexample]:
         impl_state, node = pair
@@ -399,6 +444,7 @@ def check_fd_refinement(spec: LTS, impl: LTS, name: str = "Spec [FD= Impl") -> C
         impl,
         search.violation_pair[0] if search.violation_pair else None,
     )
+    _emit_search_metrics(obs, search)
     return CheckResult(
         name,
         violation is None,
@@ -437,7 +483,17 @@ def _trace_from_parents(parents, state: StateId, table: AlphabetTable) -> Trace:
     return tuple(events)
 
 
-def check_deadlock_free(lts: LTS, name: str = "deadlock free") -> CheckResult:
+def _emit_walk_metrics(obs: Tracer, states: int, transitions: int) -> None:
+    """Record a whole-LTS property walk into the tracer's metrics."""
+    if not obs.enabled:
+        return
+    obs.metrics.counter("refine.states_explored").inc(states)
+    obs.metrics.counter("refine.transitions_explored").inc(transitions)
+
+
+def check_deadlock_free(
+    lts: LTS, name: str = "deadlock free", obs: Tracer = NULL_TRACER
+) -> CheckResult:
     """No reachable state refuses everything (termination does not count)."""
     parents, order = _bfs_with_parents(lts)
     transitions = 0
@@ -451,6 +507,7 @@ def check_deadlock_free(lts: LTS, name: str = "deadlock free") -> CheckResult:
         # is not a deadlock
         if trace and trace[-1].is_tick():
             continue
+        _emit_walk_metrics(obs, len(order), transitions)
         return CheckResult(
             name,
             False,
@@ -458,14 +515,18 @@ def check_deadlock_free(lts: LTS, name: str = "deadlock free") -> CheckResult:
             states_explored=len(order),
             transitions_explored=transitions,
         )
+    _emit_walk_metrics(obs, len(order), transitions)
     return CheckResult(name, True, None, len(order), transitions)
 
 
-def check_divergence_free(lts: LTS, name: str = "divergence free") -> CheckResult:
+def check_divergence_free(
+    lts: LTS, name: str = "divergence free", obs: Tracer = NULL_TRACER
+) -> CheckResult:
     """No reachable cycle of tau transitions (no livelock)."""
     divergent = tau_cycle_states(lts)
     parents, order = _bfs_with_parents(lts)
     transitions = sum(len(lts.successors_ids(s)) for s in order)
+    _emit_walk_metrics(obs, len(order), transitions)
     for state in order:
         if state in divergent:
             return CheckResult(
@@ -484,7 +545,9 @@ def check_divergence_free(lts: LTS, name: str = "divergence free") -> CheckResul
     return CheckResult(name, True, None, len(order), transitions)
 
 
-def check_deterministic(lts: LTS, name: str = "deterministic") -> CheckResult:
+def check_deterministic(
+    lts: LTS, name: str = "deterministic", obs: Tracer = NULL_TRACER
+) -> CheckResult:
     """FDR's determinism check in the stable-failures sense.
 
     A process is nondeterministic iff after some trace an event is both
@@ -492,8 +555,8 @@ def check_deterministic(lts: LTS, name: str = "deterministic") -> CheckResult:
     implementation state against the normalised automaton of the *same*
     process; the normalised node knows every event possible after the trace.
     """
-    normalised = normalise(lts)
-    search = _ProductSearch(lts, normalised)
+    normalised = normalise(lts, obs=obs)
+    search = _ProductSearch(lts, normalised, obs)
 
     def stable_check(pair: Pair, trace_to) -> Optional[Counterexample]:
         impl_state, node = pair
@@ -510,6 +573,7 @@ def check_deterministic(lts: LTS, name: str = "deterministic") -> CheckResult:
         lts,
         search.violation_pair[0] if search.violation_pair else None,
     )
+    _emit_search_metrics(obs, search)
     return CheckResult(
         name,
         violation is None,

@@ -1,0 +1,5 @@
+"""``python -m repro.obs TRACE.jsonl ...`` -- validate exported trace files."""
+
+from .schema import main
+
+raise SystemExit(main())

@@ -1,0 +1,250 @@
+"""The metrics registry: counters, gauges and histograms.
+
+Instrumented code records *what* happened (states explored, cache hits,
+subset-construction blowup) through three primitive instrument kinds:
+
+* :class:`Counter` -- a monotonically increasing total (``inc``),
+* :class:`Gauge` -- a last-written value with a high-water mark (``set``),
+* :class:`Histogram` -- a streaming summary of observations (``observe``),
+  keeping count/total/min/max rather than the raw series.
+
+A :class:`Metrics` object is a registry of named instruments; asking for a
+name twice returns the same instrument, so call sites never coordinate.
+Each :class:`~repro.obs.trace.Tracer` owns one registry, and
+:func:`global_metrics` exposes a process-global registry for callers with no
+natural tracer scope.
+
+When observability is off, instrumented code holds a
+:class:`NullMetrics` instead: every lookup returns the *identical* no-op
+instrument (one shared object per kind, regardless of name), so the
+disabled path allocates nothing and mutates nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple, Union
+
+Number = Union[int, float]
+
+
+class Counter:
+    """A named monotonically increasing total."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Number = 0
+
+    def inc(self, delta: Number = 1) -> None:
+        self.value += delta
+
+    def as_record(self) -> Dict[str, object]:
+        return {"type": "counter", "name": self.name, "value": self.value}
+
+    def __repr__(self) -> str:
+        return "Counter({!r}, {})".format(self.name, self.value)
+
+
+class Gauge:
+    """A named last-written value, remembering its high-water mark."""
+
+    __slots__ = ("name", "value", "max_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Number = 0
+        self.max_value: Number = 0
+
+    def set(self, value: Number) -> None:
+        self.value = value
+        if value > self.max_value:
+            self.max_value = value
+
+    def set_max(self, value: Number) -> None:
+        """Keep the high-water mark without overwriting a larger value."""
+        if value > self.value:
+            self.value = value
+        if value > self.max_value:
+            self.max_value = value
+
+    def as_record(self) -> Dict[str, object]:
+        return {
+            "type": "gauge",
+            "name": self.name,
+            "value": self.value,
+            "max": self.max_value,
+        }
+
+    def __repr__(self) -> str:
+        return "Gauge({!r}, {})".format(self.name, self.value)
+
+
+class Histogram:
+    """A streaming summary of observed values (count/total/min/max)."""
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total: Number = 0
+        self.min: Number = 0
+        self.max: Number = 0
+
+    def observe(self, value: Number) -> None:
+        if self.count == 0:
+            self.min = value
+            self.max = value
+        else:
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+        self.count += 1
+        self.total += value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_record(self) -> Dict[str, object]:
+        return {
+            "type": "histogram",
+            "name": self.name,
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    def __repr__(self) -> str:
+        return "Histogram({!r}, n={}, mean={:.3f})".format(
+            self.name, self.count, self.mean
+        )
+
+
+class Metrics:
+    """A registry of named instruments; lookups create on first use."""
+
+    __slots__ = ("_counters", "_gauges", "_histograms")
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name)
+        return instrument
+
+    def instruments(self) -> Iterator[Union[Counter, Gauge, Histogram]]:
+        """Every registered instrument, in deterministic name order per kind."""
+        for registry in (self._counters, self._gauges, self._histograms):
+            for name in sorted(registry):
+                yield registry[name]
+
+    def snapshot(self) -> Dict[str, Number]:
+        """A flat name -> value view (counters and gauges; histogram means)."""
+        view: Dict[str, Number] = {}
+        for name, counter in self._counters.items():
+            view[name] = counter.value
+        for name, gauge in self._gauges.items():
+            view[name] = gauge.value
+        for name, histogram in self._histograms.items():
+            view[name] = histogram.mean
+        return view
+
+    def records(self) -> List[Dict[str, object]]:
+        """JSONL-ready records for every instrument."""
+        return [instrument.as_record() for instrument in self.instruments()]
+
+    def clear(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+
+# -- the disabled path ---------------------------------------------------------
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        super().__init__("<null>")
+
+    def inc(self, delta: Number = 1) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        super().__init__("<null>")
+
+    def set(self, value: Number) -> None:
+        pass
+
+    def set_max(self, value: Number) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        super().__init__("<null>")
+
+    def observe(self, value: Number) -> None:
+        pass
+
+
+#: the shared no-op instruments -- every NullMetrics lookup returns these
+NULL_COUNTER = _NullCounter()
+NULL_GAUGE = _NullGauge()
+NULL_HISTOGRAM = _NullHistogram()
+
+
+class NullMetrics(Metrics):
+    """The disabled registry: every name maps to one shared no-op instrument."""
+
+    __slots__ = ()
+
+    def counter(self, name: str) -> Counter:
+        return NULL_COUNTER
+
+    def gauge(self, name: str) -> Gauge:
+        return NULL_GAUGE
+
+    def histogram(self, name: str) -> Histogram:
+        return NULL_HISTOGRAM
+
+
+NULL_METRICS = NullMetrics()
+
+#: process-global registry for callers with no natural tracer scope
+_GLOBAL_METRICS = Metrics()
+
+
+def global_metrics() -> Metrics:
+    """The process-wide metrics registry."""
+    return _GLOBAL_METRICS

@@ -1,0 +1,185 @@
+"""Per-stage cost profiles derived from a span tree.
+
+A profile answers "where did the time go" for one check or one whole CLI
+run: wall milliseconds per pipeline stage (parse / plan / compile /
+compress / normalise / refine), summing consistently with the end-to-end
+time.
+
+The aggregation is by *exclusive* (self) time: each span contributes its
+duration minus the durations of its direct children, bucketed under the
+span's name.  Because every span's time is counted exactly once, the stage
+totals -- including the ``other`` bucket collecting structural spans
+(``run``/``check``/``case``) and untraced residue -- sum to the root span's
+duration by construction, which is what lets benchmarks gate "stage sums
+within 10% of wall time" without a race against measurement noise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .trace import Span, Tracer
+
+#: canonical pipeline stage order for tables and JSON
+STAGE_ORDER: Tuple[str, ...] = (
+    "parse",
+    "plan",
+    "compile",
+    "compress",
+    "normalise",
+    "refine",
+)
+
+#: spans that merely *contain* stages; their exclusive time is overhead
+STRUCTURAL_SPANS = frozenset({"run", "check", "case"})
+
+#: the bucket structural/unknown self time falls into
+OTHER_STAGE = "other"
+
+
+class Profile:
+    """Wall-time breakdown of one traced region, per stage."""
+
+    def __init__(
+        self,
+        total_ms: float,
+        stages: Dict[str, float],
+        counts: Dict[str, int],
+        metrics: Optional[Dict[str, object]] = None,
+        name: str = "profile",
+    ) -> None:
+        self.total_ms = total_ms
+        self.stages = stages
+        self.counts = counts
+        self.metrics = metrics if metrics is not None else {}
+        self.name = name
+
+    def stage_ms(self, stage: str) -> float:
+        return self.stages.get(stage, 0.0)
+
+    def stage_sum(self) -> float:
+        """Sum of every stage bucket; equals ``total_ms`` by construction."""
+        return sum(self.stages.values())
+
+    def ordered_stages(self) -> List[Tuple[str, float]]:
+        """Stages in canonical order, then extras alphabetically, other last."""
+        ordered: List[Tuple[str, float]] = []
+        for stage in STAGE_ORDER:
+            if stage in self.stages:
+                ordered.append((stage, self.stages[stage]))
+        extras = sorted(
+            name
+            for name in self.stages
+            if name not in STAGE_ORDER and name != OTHER_STAGE
+        )
+        ordered.extend((name, self.stages[name]) for name in extras)
+        if OTHER_STAGE in self.stages:
+            ordered.append((OTHER_STAGE, self.stages[OTHER_STAGE]))
+        return ordered
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "total_ms": round(self.total_ms, 3),
+            "stages": {
+                stage: round(ms, 3) for stage, ms in self.stages.items()
+            },
+            "spans": dict(self.counts),
+            "metrics": dict(self.metrics),
+        }
+
+    def table(self) -> str:
+        """The human-readable per-stage table behind ``--profile``."""
+        total = self.total_ms or 1e-9
+        lines = [
+            "profile [{}]".format(self.name),
+            "{:<12} {:>10} {:>7} {:>7}".format("stage", "ms", "%", "spans"),
+            "-" * 38,
+        ]
+        for stage, ms in self.ordered_stages():
+            lines.append(
+                "{:<12} {:>10.3f} {:>6.1f}% {:>7}".format(
+                    stage, ms, 100.0 * ms / total, self.counts.get(stage, 0)
+                )
+            )
+        lines.append("-" * 38)
+        lines.append(
+            "{:<12} {:>10.3f} {:>6.1f}%".format("total", self.total_ms, 100.0)
+        )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return "Profile({!r}, {:.3f} ms, {} stages)".format(
+            self.name, self.total_ms, len(self.stages)
+        )
+
+
+def _subtree(spans: Sequence[Span], root: Span) -> List[Span]:
+    """*root* plus every transitive child, from a flat span list."""
+    children: Dict[Optional[int], List[Span]] = {}
+    for span in spans:
+        children.setdefault(span.parent_id, []).append(span)
+    collected: List[Span] = []
+    stack = [root]
+    while stack:
+        span = stack.pop()
+        collected.append(span)
+        stack.extend(children.get(span.span_id, ()))
+    return collected
+
+
+def aggregate_spans(
+    spans: Sequence[Span],
+    total_ms: Optional[float] = None,
+    metrics: Optional[Dict[str, object]] = None,
+    name: str = "profile",
+) -> Profile:
+    """Fold a span set into a per-stage profile by exclusive time.
+
+    *total_ms* defaults to the summed duration of the set's root spans
+    (spans whose parent is absent from the set).  Structural spans
+    (``run``/``check``/``case``) and any untraced residue land in the
+    ``other`` bucket, so ``stage_sum() == total_ms`` always holds.
+    """
+    ids = {span.span_id for span in spans}
+    child_ms: Dict[int, float] = {}
+    roots_ms = 0.0
+    for span in spans:
+        if span.parent_id in ids:
+            child_ms[span.parent_id] = (
+                child_ms.get(span.parent_id, 0.0) + span.duration_ms
+            )
+        else:
+            roots_ms += span.duration_ms
+    if total_ms is None:
+        total_ms = roots_ms
+    stages: Dict[str, float] = {}
+    counts: Dict[str, int] = {}
+    for span in spans:
+        exclusive = span.duration_ms - child_ms.get(span.span_id, 0.0)
+        stage = OTHER_STAGE if span.name in STRUCTURAL_SPANS else span.name
+        stages[stage] = stages.get(stage, 0.0) + exclusive
+        counts[stage] = counts.get(stage, 0) + 1
+    # untraced residue: wall time of the region not covered by any span
+    residue = total_ms - sum(stages.values())
+    if abs(residue) > 1e-9:
+        stages[OTHER_STAGE] = stages.get(OTHER_STAGE, 0.0) + residue
+        counts.setdefault(OTHER_STAGE, 0)
+    return Profile(total_ms, stages, counts, metrics, name)
+
+
+def profile_of(tracer: Tracer, root: Span, name: Optional[str] = None) -> Profile:
+    """The per-stage profile of one root span's subtree."""
+    return aggregate_spans(
+        _subtree(tracer.spans, root),
+        total_ms=root.duration_ms,
+        metrics=tracer.metrics.snapshot(),
+        name=name if name is not None else str(root.tags.get("name", root.name)),
+    )
+
+
+def overall_profile(tracer: Tracer, name: str = "run") -> Profile:
+    """One profile over everything the tracer recorded."""
+    return aggregate_spans(
+        tracer.spans, metrics=tracer.metrics.snapshot(), name=name
+    )

@@ -1,0 +1,172 @@
+"""Schema validation for exported trace files (``--trace-out`` JSONL).
+
+The trace format is deliberately tiny -- JSON Lines, one record per line,
+four record shapes -- so this validator enumerates it completely:
+
+* ``meta``      -- ``{"type": "meta", "version": int, "spans": int}``,
+  exactly one, first;
+* ``span``      -- ``{"type": "span", "id": int, "parent": int|null,
+  "name": str, "start_ms": number, "end_ms": number|null, "tags": object}``;
+* ``counter`` / ``gauge`` / ``histogram`` -- metric records as emitted by
+  :meth:`repro.obs.metrics.Metrics.records`.
+
+Structural rules checked beyond the field shapes: span ids are unique,
+parents precede their children, ``end_ms >= start_ms`` for finished spans,
+and the meta record's span count matches the file.
+
+Usable as a module CLI (the CI job validates the uploaded artifact)::
+
+    python -m repro.obs.schema trace.jsonl
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Dict, List, Optional, Sequence, Union
+
+Number = (int, float)
+
+
+class SchemaError(ValueError):
+    """A trace file record violating the schema, with its line number."""
+
+    def __init__(self, line_number: int, message: str) -> None:
+        super().__init__("line {}: {}".format(line_number, message))
+        self.line_number = line_number
+
+
+def _require(record: Dict[str, object], line: int, key: str, kinds, allow_none=False):
+    if key not in record:
+        raise SchemaError(line, "missing field {!r}".format(key))
+    value = record[key]
+    if value is None:
+        if allow_none:
+            return None
+        raise SchemaError(line, "field {!r} must not be null".format(key))
+    # bools are ints in Python; reject them where a number is expected
+    if isinstance(value, bool) and kinds in (Number, int):
+        raise SchemaError(line, "field {!r} must be a number".format(key))
+    if not isinstance(value, kinds):
+        raise SchemaError(
+            line,
+            "field {!r} has type {}, expected {}".format(
+                key, type(value).__name__, kinds
+            ),
+        )
+    return value
+
+
+def _validate_span(record: Dict[str, object], line: int, seen_ids: Dict[int, int]):
+    span_id = _require(record, line, "id", int)
+    if span_id in seen_ids:
+        raise SchemaError(
+            line, "duplicate span id {} (first on line {})".format(span_id, seen_ids[span_id])
+        )
+    parent = _require(record, line, "parent", int, allow_none=True)
+    if parent is not None and parent not in seen_ids:
+        raise SchemaError(
+            line, "span {} references unseen parent {}".format(span_id, parent)
+        )
+    _require(record, line, "name", str)
+    start = _require(record, line, "start_ms", Number)
+    end = _require(record, line, "end_ms", Number, allow_none=True)
+    if end is not None and end < start:
+        raise SchemaError(
+            line, "span {} ends ({}) before it starts ({})".format(span_id, end, start)
+        )
+    tags = _require(record, line, "tags", dict)
+    for key in tags:
+        if not isinstance(key, str):
+            raise SchemaError(line, "span tag keys must be strings")
+    seen_ids[span_id] = line
+
+
+def _validate_metric(record: Dict[str, object], line: int, kind: str) -> None:
+    _require(record, line, "name", str)
+    if kind == "counter":
+        _require(record, line, "value", Number)
+    elif kind == "gauge":
+        _require(record, line, "value", Number)
+        _require(record, line, "max", Number)
+    else:  # histogram
+        _require(record, line, "count", int)
+        for key in ("total", "min", "max"):
+            _require(record, line, key, Number)
+
+
+def validate_lines(lines: Sequence[str]) -> Dict[str, int]:
+    """Validate trace-file lines; returns record counts by type, or raises."""
+    counts: Dict[str, int] = {"meta": 0, "span": 0, "counter": 0, "gauge": 0, "histogram": 0}
+    seen_ids: Dict[int, int] = {}
+    declared_spans: Optional[int] = None
+    for line_number, raw in enumerate(lines, start=1):
+        text = raw.strip()
+        if not text:
+            continue
+        try:
+            record = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise SchemaError(line_number, "not valid JSON: {}".format(error))
+        if not isinstance(record, dict):
+            raise SchemaError(line_number, "record is not a JSON object")
+        kind = record.get("type")
+        if kind == "meta":
+            if counts["meta"]:
+                raise SchemaError(line_number, "second meta record")
+            if sum(counts.values()):
+                raise SchemaError(line_number, "meta record must come first")
+            _require(record, line_number, "version", int)
+            declared_spans = _require(record, line_number, "spans", int)
+        elif kind == "span":
+            _validate_span(record, line_number, seen_ids)
+        elif kind in ("counter", "gauge", "histogram"):
+            _validate_metric(record, line_number, kind)
+        else:
+            raise SchemaError(
+                line_number, "unknown record type {!r}".format(kind)
+            )
+        counts[kind] += 1
+    if not counts["meta"]:
+        raise SchemaError(0, "no meta record")
+    if declared_spans is not None and declared_spans != counts["span"]:
+        raise SchemaError(
+            0,
+            "meta declares {} spans, file has {}".format(
+                declared_spans, counts["span"]
+            ),
+        )
+    return counts
+
+
+def validate_file(path: str) -> Dict[str, int]:
+    """Validate one trace file; returns record counts by type, or raises."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return validate_lines(handle.readlines())
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    if not args:
+        sys.stderr.write("usage: python -m repro.obs.schema TRACE.jsonl ...\n")
+        return 2
+    status = 0
+    for path in args:
+        try:
+            counts = validate_file(path)
+        except (OSError, SchemaError) as error:
+            sys.stderr.write("{}: INVALID: {}\n".format(path, error))
+            status = 1
+            continue
+        sys.stdout.write(
+            "{}: ok ({} spans, {} metric records)\n".format(
+                path,
+                counts["span"],
+                counts["counter"] + counts["gauge"] + counts["histogram"],
+            )
+        )
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,289 @@
+"""The tracer: nested spans on a monotonic clock, plus JSONL export.
+
+A :class:`Tracer` records a tree of :class:`Span` objects -- one per
+instrumented region, with monotonic start/end times, free-form tags and a
+parent id -- and owns a :class:`~repro.obs.metrics.Metrics` registry for the
+counts that have no natural span (states explored, cache hits, blowup).
+
+The enabled/disabled split is the design centre: instrumented code holds a
+tracer-shaped object unconditionally, and the *disabled* flavour
+(:data:`NULL_TRACER`) is a process-wide singleton whose every operation is a
+no-op over pre-allocated objects.  Hot loops guard per-iteration work with
+one attribute lookup (``tracer.enabled``); per-call sites just open spans,
+which on the null tracer neither allocate nor record.
+
+Spans and metrics export to JSON Lines (one record per line, see
+:mod:`repro.obs.schema` for the record shapes) with
+:func:`export_jsonl` and load back with :func:`load_jsonl`, so a check's
+cost breakdown can be shipped out of process and re-analysed.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, IO, Iterable, List, NamedTuple, Optional, Union
+
+from .metrics import Metrics, NULL_METRICS
+
+#: trace format version stamped into every export's meta record
+TRACE_FORMAT_VERSION = 1
+
+TagValue = Union[str, int, float, bool, None]
+
+
+class Span:
+    """One traced region: name, tags, monotonic start/end, parent link."""
+
+    __slots__ = ("name", "span_id", "parent_id", "start", "end", "tags")
+
+    def __init__(
+        self,
+        name: str,
+        span_id: int,
+        parent_id: Optional[int],
+        start: float,
+        tags: Optional[Dict[str, TagValue]] = None,
+    ) -> None:
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start = start
+        self.end: Optional[float] = None
+        self.tags: Dict[str, TagValue] = tags if tags is not None else {}
+
+    @property
+    def finished(self) -> bool:
+        return self.end is not None
+
+    @property
+    def duration_ms(self) -> float:
+        """Wall time in milliseconds (0.0 while the span is still open)."""
+        if self.end is None:
+            return 0.0
+        return (self.end - self.start) * 1000.0
+
+    def set_tag(self, key: str, value: TagValue) -> None:
+        self.tags[key] = value
+
+    def __repr__(self) -> str:
+        return "Span({!r}, id={}, parent={}, {:.3f} ms)".format(
+            self.name, self.span_id, self.parent_id, self.duration_ms
+        )
+
+
+class _SpanHandle:
+    """The context manager returned by :meth:`Tracer.span`."""
+
+    __slots__ = ("_tracer", "_name", "_tags", "_span")
+
+    def __init__(self, tracer: "Tracer", name: str, tags: Dict[str, TagValue]) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._tags = tags
+        self._span: Optional[Span] = None
+
+    def __enter__(self) -> Span:
+        self._span = self._tracer._open(self._name, self._tags)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._tracer._close(self._span)
+        return False
+
+
+class Tracer:
+    """Records nested spans against one monotonic clock.
+
+    Spans nest through an explicit stack: a span opened while another is
+    active becomes its child.  The clock is injectable for deterministic
+    tests; the epoch is taken at construction so exported timestamps are
+    small relative offsets.
+    """
+
+    enabled = True
+
+    def __init__(self, clock=time.perf_counter, metrics: Optional[Metrics] = None) -> None:
+        self._clock = clock
+        self.epoch = clock()
+        self.spans: List[Span] = []
+        self._stack: List[Span] = []
+        self._next_id = 1
+        self.metrics = metrics if metrics is not None else Metrics()
+
+    def span(self, name: str, /, **tags: TagValue) -> _SpanHandle:
+        """A context manager recording one region::
+
+            with tracer.span("normalise", states=lts.state_count):
+                ...
+        """
+        return _SpanHandle(self, name, tags)
+
+    def _open(self, name: str, tags: Dict[str, TagValue]) -> Span:
+        parent = self._stack[-1].span_id if self._stack else None
+        span = Span(name, self._next_id, parent, self._clock(), tags)
+        self._next_id += 1
+        self.spans.append(span)
+        self._stack.append(span)
+        return span
+
+    def _close(self, span: Optional[Span]) -> None:
+        if span is None or not self._stack:
+            return
+        # close intervening unclosed children too (exception unwinding)
+        while self._stack:
+            current = self._stack.pop()
+            current.end = self._clock()
+            if current is span:
+                break
+
+    @property
+    def active_span(self) -> Optional[Span]:
+        return self._stack[-1] if self._stack else None
+
+    def roots(self) -> List[Span]:
+        """The top-level spans, in start order."""
+        return [span for span in self.spans if span.parent_id is None]
+
+    def children_of(self, span: Span) -> List[Span]:
+        return [s for s in self.spans if s.parent_id == span.span_id]
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+
+class _NullSpan(Span):
+    """The span every null-tracer region yields; mutating it goes nowhere."""
+
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        super().__init__("<null>", 0, None, 0.0, None)
+        self.tags = {}
+
+    def set_tag(self, key: str, value: TagValue) -> None:
+        pass
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class NullTracer(Tracer):
+    """The disabled tracer: records nothing, allocates nothing per call.
+
+    ``tracer.enabled`` is the one-attribute-lookup guard for per-iteration
+    instrumentation; span() hands back the process-wide :data:`NULL_SPAN`
+    (itself a no-op context manager) and ``metrics`` is the shared
+    :data:`~repro.obs.metrics.NULL_METRICS` registry.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(clock=lambda: 0.0, metrics=NULL_METRICS)
+
+    def span(self, name: str, /, **tags: TagValue):
+        return NULL_SPAN
+
+
+NULL_TRACER = NullTracer()
+
+
+def ensure_tracer(obs: Optional[Tracer]) -> Tracer:
+    """Normalise an optional tracer argument to a concrete tracer object."""
+    return obs if obs is not None else NULL_TRACER
+
+
+# -- JSONL import/export -------------------------------------------------------
+
+
+class TraceDump(NamedTuple):
+    """A loaded trace file: meta header, spans, metric records."""
+
+    meta: Dict[str, object]
+    spans: List[Span]
+    metrics: List[Dict[str, object]]
+
+
+def span_record(span: Span, epoch: float) -> Dict[str, object]:
+    """The JSONL record of one span, times in ms relative to *epoch*."""
+    return {
+        "type": "span",
+        "id": span.span_id,
+        "parent": span.parent_id,
+        "name": span.name,
+        "start_ms": (span.start - epoch) * 1000.0,
+        "end_ms": (span.end - epoch) * 1000.0 if span.end is not None else None,
+        "tags": span.tags,
+    }
+
+
+def iter_records(tracer: Tracer) -> Iterable[Dict[str, object]]:
+    """Every record of a trace export, meta first, spans in start order."""
+    yield {
+        "type": "meta",
+        "version": TRACE_FORMAT_VERSION,
+        "spans": len(tracer.spans),
+    }
+    for span in tracer.spans:
+        yield span_record(span, tracer.epoch)
+    for record in tracer.metrics.records():
+        yield record
+
+
+def export_jsonl(tracer: Tracer, target: Union[str, IO[str]]) -> int:
+    """Write the trace as JSON Lines; returns the number of records."""
+    count = 0
+
+    def write_all(handle: IO[str]) -> None:
+        nonlocal count
+        for record in iter_records(tracer):
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            count += 1
+
+    if isinstance(target, str):
+        with open(target, "w", encoding="utf-8") as handle:
+            write_all(handle)
+    else:
+        write_all(target)
+    return count
+
+
+def load_jsonl(source: Union[str, IO[str]]) -> TraceDump:
+    """Load an exported trace back into spans + metric records."""
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+    else:
+        lines = source.readlines()
+    meta: Dict[str, object] = {}
+    spans: List[Span] = []
+    metrics: List[Dict[str, object]] = []
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        kind = record.get("type")
+        if kind == "meta":
+            meta = record
+        elif kind == "span":
+            span = Span(
+                record["name"],
+                record["id"],
+                record["parent"],
+                record["start_ms"] / 1000.0,
+                dict(record.get("tags") or {}),
+            )
+            if record.get("end_ms") is not None:
+                span.end = record["end_ms"] / 1000.0
+            spans.append(span)
+        else:
+            metrics.append(record)
+    return TraceDump(meta, spans, metrics)

@@ -12,7 +12,7 @@ from typing import Callable, Dict, List, NamedTuple, Tuple
 
 from ..csp.events import Alphabet
 from ..csp.process import Environment, Hiding, Prefix, Process, ProcessRef, external_choice
-from ..engine import CompilationCache, VerificationPipeline
+from ..engine import CompilationCache
 from ..fdr.refine import CheckResult
 from ..security.properties import (
     alternates,
@@ -89,27 +89,42 @@ def _discharge(
     env: Environment,
     name: str,
     passes: str = "default",
+    obs=None,
 ) -> CheckResult:
     # composed session systems (ECUs, the VMG, an intruder where present)
     # run compress-before-compose; the ablation benchmark calls this with
     # passes="none" to measure the uncompressed product
-    pipeline = VerificationPipeline(env, cache=_CACHE, passes=passes)
-    return pipeline.refinement(spec, impl, "T", name)
+    from ..api import check_refinement  # deferred: repro.api builds on us
+
+    return check_refinement(
+        spec,
+        impl,
+        "T",
+        env=env,
+        name=name,
+        passes=passes,
+        cache=_CACHE,
+        obs=obs,
+    )
 
 
-def check_r01() -> CheckResult:
-    """First session event is the inventory request."""
+#: one builder per Table III row: the specification, the system under
+#: check, their environment, and the check label -- everything
+#: :func:`check_requirement`'s single discharge path needs
+def _build_r01() -> Tuple[Process, Process, Environment, str]:
     session = build_session_system()
     env = session.env
     everything = run_process(session.sync, env, "R01_RUN")
     env.bind("R01_SPEC", Prefix(session.send("reqSw"), everything))
-    return _discharge(
-        ProcessRef("R01_SPEC"), session.system, env, "R01: session starts with send.reqSw"
+    return (
+        ProcessRef("R01_SPEC"),
+        session.system,
+        env,
+        "R01: session starts with send.reqSw",
     )
 
 
-def check_r02() -> CheckResult:
-    """SP02 on the inventory exchange (the paper's worked property)."""
+def _build_r02() -> Tuple[Process, Process, Environment, str]:
     session = build_session_system()
     env = session.env
     keep = Alphabet.of(session.send("reqSw"), session.rec("rptSw"))
@@ -117,25 +132,19 @@ def check_r02() -> CheckResult:
     spec = request_response(
         session.send("reqSw"), session.rec("rptSw"), env, "R02_SPEC"
     )
-    return _discharge(
-        spec, projected, env, "R02: every reqSw answered by rptSw"
-    )
+    return spec, projected, env, "R02: every reqSw answered by rptSw"
 
 
-def check_r03() -> CheckResult:
-    """No update result without a prior apply request."""
+def _build_r03() -> Tuple[Process, Process, Environment, str]:
     session = build_session_system()
     env = session.env
     spec = precedes(
         session.send("reqApp"), session.rec("rptUpd"), session.sync, env, "R03_SPEC"
     )
-    return _discharge(
-        spec, session.system, env, "R03: rptUpd only after reqApp"
-    )
+    return spec, session.system, env, "R03: rptUpd only after reqApp"
 
 
-def check_r04() -> CheckResult:
-    """Apply request and update result strictly alternate."""
+def _build_r04() -> Tuple[Process, Process, Environment, str]:
     session = build_session_system()
     env = session.env
     keep = Alphabet.of(session.send("reqApp"), session.rec("rptUpd"))
@@ -143,18 +152,20 @@ def check_r04() -> CheckResult:
     spec = alternates(
         session.send("reqApp"), session.rec("rptUpd"), keep, env, "R04_SPEC"
     )
-    return _discharge(
-        spec, projected, env, "R04: update result completes each apply request"
+    return (
+        spec,
+        projected,
+        env,
+        "R04: update result completes each apply request",
     )
 
 
-def check_r05() -> CheckResult:
-    """Shared-key MACs stop unauthorised-update injection."""
+def _build_r05() -> Tuple[Process, Process, Environment, str]:
     secured = build_secured_system("mac")
     spec = never_occurs(
         secured.forbidden_applies, secured.alphabet, secured.env, "R05_SPEC"
     )
-    return _discharge(
+    return (
         spec,
         secured.attacked_system,
         secured.env,
@@ -162,25 +173,58 @@ def check_r05() -> CheckResult:
     )
 
 
-_CHECKS: Dict[str, Callable[[], CheckResult]] = {
-    "R01": check_r01,
-    "R02": check_r02,
-    "R03": check_r03,
-    "R04": check_r04,
-    "R05": check_r05,
+_BUILDERS: Dict[str, Callable[[], Tuple[Process, Process, Environment, str]]] = {
+    "R01": _build_r01,
+    "R02": _build_r02,
+    "R03": _build_r03,
+    "R04": _build_r04,
+    "R05": _build_r05,
 }
 
 
-def check_requirement(req_id: str) -> CheckResult:
+def check_requirement(req_id: str, passes: str = "default", obs=None) -> CheckResult:
+    """Discharge one Table III requirement through the shared facade path.
+
+    Every requirement is the same shape -- build (spec, system, env, label),
+    then trace refinement through :func:`repro.api.check_refinement` with
+    the module's shared cache -- so they all run through this one function.
+    """
     try:
-        return _CHECKS[req_id]()
+        builder = _BUILDERS[req_id]
     except KeyError:
         raise KeyError("unknown requirement {!r}".format(req_id)) from None
+    spec, impl, env, name = builder()
+    return _discharge(spec, impl, env, name, passes=passes, obs=obs)
+
+
+def check_r01() -> CheckResult:
+    """First session event is the inventory request."""
+    return check_requirement("R01")
+
+
+def check_r02() -> CheckResult:
+    """SP02 on the inventory exchange (the paper's worked property)."""
+    return check_requirement("R02")
+
+
+def check_r03() -> CheckResult:
+    """No update result without a prior apply request."""
+    return check_requirement("R03")
+
+
+def check_r04() -> CheckResult:
+    """Apply request and update result strictly alternate."""
+    return check_requirement("R04")
+
+
+def check_r05() -> CheckResult:
+    """Shared-key MACs stop unauthorised-update injection."""
+    return check_requirement("R05")
 
 
 def check_all() -> List[Tuple[Requirement, CheckResult]]:
     """Discharge every Table III requirement; the T3 benchmark's payload."""
-    return [(row, _CHECKS[row.req_id]()) for row in TABLE_III]
+    return [(row, check_requirement(row.req_id)) for row in TABLE_III]
 
 
 def injective_agreement_check(secured: SecuredSystem) -> CheckResult:

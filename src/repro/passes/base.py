@@ -170,17 +170,36 @@ class LtsPass:
 
 
 def apply_passes(
-    lts: LTS, passes: Sequence[LtsPass]
+    lts: LTS, passes: Sequence[LtsPass], obs=None
 ) -> Tuple[LTS, StateProvenance, Tuple[PassStats, ...]]:
-    """Run a pass sequence; the result's provenance maps back to *lts*."""
+    """Run a pass sequence; the result's provenance maps back to *lts*.
+
+    With an enabled tracer as *obs*, each pass runs inside a ``compress``
+    span (the pass name as a tag, so all passes aggregate into the single
+    ``compress`` profile stage) and the registry's ``compress.*`` counters
+    record the cumulative state reduction.
+    """
     provenance = StateProvenance.identity(lts.state_count)
     stats: List[PassStats] = []
     current = lts
+    tracing = obs is not None and obs.enabled
     for lts_pass in passes:
-        result = lts_pass.apply(current)
+        if tracing:
+            with obs.span(
+                "compress", compression=lts_pass.name, states_in=current.state_count
+            ) as span:
+                result = lts_pass.apply(current)
+                span.set_tag("states_out", result.lts.state_count)
+        else:
+            result = lts_pass.apply(current)
         current = result.lts
         provenance = provenance.then(result.provenance)
         stats.append(result.stats)
+    if tracing and passes:
+        metrics = obs.metrics
+        metrics.counter("compress.passes_applied").inc(len(stats))
+        metrics.counter("compress.states_in").inc(lts.state_count)
+        metrics.counter("compress.states_out").inc(current.state_count)
     return current, provenance, tuple(stats)
 
 

@@ -17,6 +17,15 @@ import os
 import sys
 from typing import List, Optional
 
+from ..cli_common import (
+    EXIT_OK,
+    EXIT_USAGE,
+    EXIT_VIOLATION,
+    add_observability_args,
+    add_seed_arg,
+    finish_observability,
+    tracer_from_args,
+)
 from .oracles import ORACLES, get_oracles
 from .runner import run_campaign
 from .shrink import DEFAULT_SHRINK_BUDGET
@@ -32,9 +41,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="all",
         help="'all' or a comma-separated oracle list (default: all)",
     )
-    parser.add_argument(
-        "--seed", type=int, default=0, help="campaign seed (default: 0)"
-    )
+    add_seed_arg(parser)
     parser.add_argument(
         "--budget",
         type=int,
@@ -67,6 +74,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--quiet", action="store_true", help="only print the final summary"
     )
+    add_observability_args(parser)
     return parser
 
 
@@ -112,18 +120,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         oracles = get_oracles(args.oracle)
     except KeyError as error:
         print(str(error), file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     progress = None if args.quiet else lambda line: print(line, flush=True)
-    report = run_campaign(
-        oracles,
-        seed=args.seed,
-        budget=args.budget,
-        corpus_dir=args.corpus,
-        shrink_budget=args.max_shrink,
-        progress=progress,
-    )
+    tracer = tracer_from_args(args)
+    with tracer.span("run", tool="cspfuzz", seed=args.seed):
+        report = run_campaign(
+            oracles,
+            seed=args.seed,
+            budget=args.budget,
+            corpus_dir=args.corpus,
+            shrink_budget=args.max_shrink,
+            progress=progress,
+            obs=tracer,
+        )
     print(report.summary())
-    return 0 if report.ok else 1
+    finish_observability(args, tracer)
+    return EXIT_OK if report.ok else EXIT_VIOLATION
 
 
 if __name__ == "__main__":

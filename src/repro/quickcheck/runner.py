@@ -15,6 +15,7 @@ import random
 import time
 from typing import Callable, Dict, List, Optional, Sequence
 
+from ..obs.trace import NULL_TRACER, Tracer
 from .oracles import Oracle
 from .shrink import DEFAULT_SHRINK_BUDGET, shrink
 
@@ -106,6 +107,7 @@ def run_campaign(
     shrink_budget: int = DEFAULT_SHRINK_BUDGET,
     max_failures_per_oracle: int = 3,
     progress: Optional[Callable[[str], None]] = None,
+    obs: Tracer = NULL_TRACER,
 ) -> CampaignReport:
     """Run *budget* cases round-robin over *oracles*.
 
@@ -114,6 +116,11 @@ def run_campaign(
     that has already produced *max_failures_per_oracle* failures stops
     consuming budget (one bug tends to fail many random cases; the spare
     budget goes to the other oracles).
+
+    With an enabled tracer as *obs*, every case runs inside a ``case`` span
+    (tagged with its oracle and index) containing ``generate`` / ``oracle``
+    / ``shrink`` child spans, and ``fuzz.*`` counters track case and
+    failure totals.
     """
     if not oracles:
         raise ValueError("a campaign needs at least one oracle")
@@ -121,16 +128,29 @@ def run_campaign(
     started = time.perf_counter()
     failed_counts: Dict[str, int] = {o.name: 0 for o in oracles}
     active = list(oracles)
+    tracing = obs.enabled
     case_index = 0
     while case_index < budget and active:
         oracle = active[case_index % len(active)]
         case_seed = derive_seed(seed, oracle.name, case_index)
         rng = random.Random(case_seed)
-        value = oracle.generate(rng)
-        message = oracle.violation(value)
+        with obs.span("case", oracle=oracle.name, index=case_index):
+            with obs.span("generate"):
+                value = oracle.generate(rng)
+            # named "oracle", not "check": "check" is a structural span name
+            # (see repro.obs.profile.STRUCTURAL_SPANS) and would fold the
+            # oracle's verdict time into the "other" bucket
+            with obs.span("oracle"):
+                message = oracle.violation(value)
+            if message is not None:
+                with obs.span("shrink"):
+                    shrunk = shrink(value, oracle.fails_on, shrink_budget)
         report.cases_run[oracle.name] = report.cases_run.get(oracle.name, 0) + 1
+        if tracing:
+            obs.metrics.counter("fuzz.cases").inc()
         if message is not None:
-            shrunk = shrink(value, oracle.fails_on, shrink_budget)
+            if tracing:
+                obs.metrics.counter("fuzz.failures").inc()
             failure = FuzzFailure(
                 oracle.name,
                 seed,

@@ -17,7 +17,13 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
-from ..fdr.assertions import PropertyAssertion
+from ..cli_common import (
+    EXIT_OK,
+    EXIT_VIOLATION,
+    add_observability_args,
+    finish_observability,
+    tracer_from_args,
+)
 from .extractor import ExtractorConfig, ModelExtractor
 from .rules import ChannelConvention
 
@@ -40,6 +46,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="load the generated model and run a deadlock-freedom sanity check",
     )
+    add_observability_args(parser)
     return parser
 
 
@@ -50,20 +57,29 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         include_timers=not args.no_timers,
     )
     extractor = ModelExtractor(config)
-    result = extractor.extract_file(args.capl, args.node)
-    if args.output:
-        result.write(args.output)
-    else:
-        sys.stdout.write(result.script_text)
-    if args.check:
-        model = result.load()
-        assertion = PropertyAssertion(
-            model.process(result.process_name), "deadlock free"
-        )
-        outcome = assertion.check(model.env)
-        sys.stderr.write(outcome.summary() + "\n")
-        return 0 if outcome.passed else 1
-    return 0
+    tracer = tracer_from_args(args)
+    status = EXIT_OK
+    with tracer.span("run", tool="capl2cspm", capl=args.capl):
+        with tracer.span("parse", capl=args.capl):
+            result = extractor.extract_file(args.capl, args.node)
+        if args.output:
+            result.write(args.output)
+        else:
+            sys.stdout.write(result.script_text)
+        if args.check:
+            from ..api import check_deadlock
+
+            model = result.load()
+            outcome = check_deadlock(
+                model.process(result.process_name),
+                env=model.env,
+                obs=tracer,
+            )
+            sys.stderr.write(outcome.summary() + "\n")
+            if not outcome.passed:
+                status = EXIT_VIOLATION
+    finish_observability(args, tracer)
+    return status
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -43,6 +43,53 @@ class TestCspcheck:
         assert cspcheck_main([str(path)]) == 0
         assert "no assertions" in capsys.readouterr().err
 
+    def test_stats_go_to_stderr_not_stdout(self, passing_script, capsys):
+        """stdout carries only verdict lines -- diagnostics go to stderr.
+
+        Pins the machine-parseable stdout contract: a script consuming
+        cspcheck output must never see `stat ...` or `compress ...` lines.
+        """
+        assert cspcheck_main([passing_script, "--stats"]) == 0
+        captured = capsys.readouterr()
+        assert "stat " not in captured.out
+        assert "compress " not in captured.out
+        assert "stat checks_run: 1" in captured.err
+        assert "compress [" in captured.err
+        # stdout is exactly the verdict lines
+        lines = captured.out.strip().splitlines()
+        assert lines[-1] == "1/1 assertions passed"
+        assert all(
+            line.endswith("assertions passed") or "PASSED" in line or "FAILED" in line
+            for line in lines
+        )
+
+    def test_profile_table_on_stderr(self, passing_script, capsys):
+        assert cspcheck_main([passing_script, "--profile"]) == 0
+        captured = capsys.readouterr()
+        assert "profile [run]" in captured.err
+        for stage in ("parse", "refine", "total"):
+            assert stage in captured.err
+        assert "profile [" not in captured.out
+
+    def test_trace_out_writes_valid_jsonl(self, passing_script, tmp_path, capsys):
+        from repro.obs.schema import validate_file
+
+        trace = tmp_path / "trace.jsonl"
+        assert cspcheck_main([passing_script, "--trace-out", str(trace)]) == 0
+        counts = validate_file(str(trace))
+        assert counts["meta"] == 1
+        assert counts["span"] > 0
+        captured = capsys.readouterr()
+        assert "trace:" in captured.err and "trace:" not in captured.out
+
+    def test_no_observability_flags_means_no_trace_output(
+        self, passing_script, capsys
+    ):
+        assert cspcheck_main([passing_script]) == 0
+        captured = capsys.readouterr()
+        assert "profile [" not in captured.err
+        assert "trace:" not in captured.err
+
     def test_generated_model_checkable_end_to_end(self, tmp_path, capsys):
         """capl2cspm output feeds straight into cspcheck."""
         from repro.translator.cli import main as capl2cspm_main

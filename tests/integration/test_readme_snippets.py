@@ -1,4 +1,4 @@
-"""The README's quickstart snippet must actually run and say what it claims."""
+"""The README's quickstart snippets must actually run and say what they claim."""
 
 import pathlib
 import re
@@ -10,12 +10,28 @@ def python_blocks():
     return re.findall(r"```python\n(.*?)```", README, re.DOTALL)
 
 
+def block_containing(marker):
+    """The first README python block mentioning *marker* (index-stable)."""
+    for block in python_blocks():
+        if marker in block:
+            return block
+    raise AssertionError("no README python block contains {!r}".format(marker))
+
+
 def test_readme_has_python_snippets():
-    assert len(python_blocks()) >= 2
+    assert len(python_blocks()) >= 3
+
+
+def test_api_quickstart_snippet_executes():
+    snippet = block_containing("from repro import api")
+    namespace = {}
+    exec(compile(snippet, "README-api", "exec"), namespace)
+    result = namespace["result"]
+    assert result.passed  # the README promises 'PASSED'
 
 
 def test_quickstart_snippet_executes():
-    snippet = python_blocks()[0]
+    snippet = block_containing("ModelExtractor().extract")
     namespace = {}
     exec(compile(snippet, "README-quickstart", "exec"), namespace)
     result = namespace["result"]
@@ -23,7 +39,7 @@ def test_quickstart_snippet_executes():
 
 
 def test_workflow_snippet_executes():
-    snippet = python_blocks()[1]
+    snippet = block_containing("run_workflow")
     namespace = {}
     exec(compile(snippet, "README-workflow", "exec"), namespace)
     report = namespace["report"]
