@@ -37,6 +37,7 @@ or the whole case study at once::
 
 from . import (
     api,
+    batch,
     canbus,
     candb,
     capl,
@@ -58,12 +59,14 @@ from .api import (
     check_refinement,
     extract_model,
     verify_requirement,
+    verify_requirements,
 )
 
 __version__ = "1.0.0"
 
 __all__ = [
     "api",
+    "batch",
     "canbus",
     "candb",
     "capl",
@@ -83,5 +86,6 @@ __all__ = [
     "testgen",
     "translator",
     "verify_requirement",
+    "verify_requirements",
     "__version__",
 ]

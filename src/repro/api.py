@@ -37,6 +37,7 @@ __all__ = [
     "check_divergence",
     "check_determinism",
     "verify_requirement",
+    "verify_requirements",
     "extract_model",
 ]
 
@@ -135,6 +136,37 @@ def verify_requirement(
     from .ota.requirements import check_requirement
 
     return check_requirement(req_id, passes=passes, obs=obs)
+
+
+def verify_requirements(
+    req_ids=None,
+    *,
+    jobs: int = 1,
+    timeout: Optional[float] = None,
+    cache_dir: Optional[str] = None,
+    obs: Optional[Tracer] = None,
+):
+    """Discharge several Table III requirements as one batch.
+
+    *req_ids* defaults to every requirement (``R01``..``R05``).  With
+    ``jobs > 1`` the checks run in isolated worker processes (crash and
+    timeout containment per job); *cache_dir* names a shared on-disk
+    compilation cache so workers and later sessions reuse each other's
+    compiled session systems.  Returns a :class:`~repro.batch.executor.
+    BatchReport` whose results arrive in requirement order regardless of
+    scheduling.
+    """
+    # deferred: repro.batch builds on this module's check functions
+    from .batch import requirement_specs, run_batch
+
+    return run_batch(
+        requirement_specs(req_ids),
+        jobs=jobs,
+        timeout=timeout,
+        cache_dir=cache_dir,
+        obs=obs,
+        inline=jobs <= 1 and cache_dir is None,
+    )
 
 
 def extract_model(

@@ -1,0 +1,61 @@
+"""repro.batch -- process-pool batch verification.
+
+The paper's workflow checks one assertion at a time in FDR; real audits
+discharge dozens (every Table III requirement, every extracted ECU model
+against every specification).  This package fans a list of
+:class:`CheckSpec` values over isolated worker processes:
+
+* **Crash isolation** -- each job gets its own worker, so a crashing,
+  looping, or exiting check fails *its* job (``ERROR``/``TIMEOUT``) while
+  the rest of the batch completes.
+* **Determinism** -- results come back in input order and each job runs in
+  a fresh pipeline; a parallel run's canonical results are byte-identical
+  to the sequential reference (:func:`execute_spec`), which the
+  conformance corpus under ``tests/conformance`` enforces.
+* **Shared compilation** -- workers layer the in-memory cache over a
+  content-addressed on-disk store (:mod:`repro.engine.diskcache`), so one
+  worker's compiled automaton warms every sibling and every later session.
+
+Surfaced on the command line as ``cspbatch`` (manifest in, JSONL out) and
+programmatically as :func:`repro.api.verify_requirements`.
+"""
+
+from .executor import BatchReport, execute_spec, run_batch
+from .spec import (
+    BATCH_FORMAT_VERSION,
+    CANCELLED,
+    CheckSpec,
+    ERROR,
+    FAIL,
+    JobResult,
+    ManifestError,
+    PASS,
+    TIMEOUT,
+    VERDICTS,
+    dump_manifest,
+    load_manifest,
+    manifest_document,
+    parse_manifest,
+    requirement_specs,
+)
+
+__all__ = [
+    "BATCH_FORMAT_VERSION",
+    "BatchReport",
+    "CANCELLED",
+    "CheckSpec",
+    "ERROR",
+    "FAIL",
+    "JobResult",
+    "ManifestError",
+    "PASS",
+    "TIMEOUT",
+    "VERDICTS",
+    "dump_manifest",
+    "execute_spec",
+    "load_manifest",
+    "manifest_document",
+    "parse_manifest",
+    "requirement_specs",
+    "run_batch",
+]

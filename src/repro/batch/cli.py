@@ -1,0 +1,141 @@
+"""``cspbatch`` -- batch-verify a manifest of checks over worker processes.
+
+Usage::
+
+    cspbatch MANIFEST.json [--jobs N] [--timeout S] [--batch-timeout S]
+             [--cache-dir DIR] [--quiet] [--profile] [--trace-out FILE]
+
+The manifest is a JSON document (``{"format": 1, "checks": [...]}``, schema
+in :mod:`repro.batch.spec` and ``docs/batch.md``); ``-`` reads it from
+stdin.  Results stream to stdout as JSON Lines, one canonical result per
+check **in manifest order** -- the same bytes regardless of ``--jobs``,
+scheduling, or cache temperature.  Diagnostics (the batch summary, per-job
+failure lines, profiles) go to stderr.
+
+Exit status: 0 when every job passed, 1 when any job's verdict was not
+``PASS``, 2 for an unusable invocation or manifest.  ``SIGINT`` aborts
+cleanly: running workers are terminated before the process exits with
+status 1.  ``--batch-timeout`` is the graceful flavour -- jobs cut off by
+the deadline still get a ``CANCELLED`` result line each.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import threading
+from typing import List, Optional
+
+from ..cli_common import (
+    EXIT_OK,
+    EXIT_USAGE,
+    EXIT_VIOLATION,
+    add_observability_args,
+    add_stats_arg,
+    emit_stats,
+    finish_observability,
+    tracer_from_args,
+)
+from .executor import run_batch
+from .spec import CheckSpec, ManifestError, PASS, load_manifest
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="cspbatch",
+        description="Batch-verify a manifest of CSP checks over worker "
+        "processes, with per-job crash isolation and timeouts.",
+    )
+    parser.add_argument(
+        "manifest",
+        help="path of the batch manifest (JSON), or '-' for stdin",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="max concurrent worker processes (default: 1); "
+        "0 runs the batch inline in this process",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-job wall-clock timeout (default: none)",
+    )
+    parser.add_argument(
+        "--batch-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="whole-batch deadline; jobs not finished by then are cancelled",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="content-addressed on-disk compilation cache shared by workers",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the per-job and summary diagnostics on stderr",
+    )
+    add_stats_arg(parser, "print executor statistics to stderr")
+    add_observability_args(parser)
+    return parser
+
+
+def _load_specs(path: str, parser: argparse.ArgumentParser) -> List[CheckSpec]:
+    try:
+        if path == "-":
+            return load_manifest(sys.stdin)
+        return load_manifest(path)
+    except OSError as error:
+        parser.exit(
+            EXIT_USAGE, "cspbatch: cannot read manifest: {}\n".format(error)
+        )
+    except ManifestError as error:
+        parser.exit(EXIT_USAGE, "cspbatch: bad manifest: {}\n".format(error))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.jobs < 0:
+        parser.exit(EXIT_USAGE, "cspbatch: --jobs must be >= 0\n")
+    specs = _load_specs(args.manifest, parser)
+    tracer = tracer_from_args(args)
+
+    cancel = threading.Event()
+    try:
+        report = run_batch(
+            specs,
+            jobs=args.jobs,
+            timeout=args.timeout,
+            batch_timeout=args.batch_timeout,
+            cache_dir=args.cache_dir,
+            obs=tracer if tracer.enabled else None,
+            cancel=cancel,
+            inline=args.jobs == 0,
+        )
+    except KeyboardInterrupt:
+        sys.stderr.write("cspbatch: interrupted\n")
+        return EXIT_VIOLATION
+
+    for result in report.results:
+        sys.stdout.write(result.canonical_line() + "\n")
+        if not args.quiet and result.verdict != PASS:
+            sys.stderr.write(result.summary() + "\n")
+    if not args.quiet:
+        sys.stderr.write(report.summary() + "\n")
+    if args.stats:
+        emit_stats(sorted(report.counts().items()))
+    finish_observability(args, tracer, report.profile)
+    return EXIT_OK if report.ok else EXIT_VIOLATION
+
+
+if __name__ == "__main__":
+    sys.exit(main())

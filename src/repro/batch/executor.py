@@ -1,0 +1,470 @@
+"""The batch executor: fan a spec list over worker processes.
+
+Each job runs in its **own** :mod:`multiprocessing` worker process with a
+dedicated pipe -- not in a shared pool -- because the failure modes the
+batch must survive are exactly the ones that kill pools: a worker that
+segfaults (or ``os._exit``\\ s) takes down only its own job, and a job past
+its deadline is terminated without poisoning the processes running its
+siblings.  At most *jobs* workers run concurrently; the scheduler launches
+from a pending queue as slots free up, multiplexing completions with
+:func:`multiprocessing.connection.wait`.
+
+Determinism: results are keyed by the spec's position in the input list and
+reported in that order regardless of completion order, and each worker
+verifies its spec in a fresh pipeline (own environment, alphabet table,
+in-memory cache), so nothing about scheduling can leak into a verdict.
+The optional disk cache (shared, content-addressed, validated on read --
+see :mod:`repro.engine.diskcache`) accelerates workers without coupling
+them: a warm entry reproduces the cold compile's automaton exactly.
+
+Verdict taxonomy per job:
+
+========== ==============================================================
+``PASS``   the check ran and held
+``FAIL``   the check ran and produced a counterexample
+``ERROR``  the check raised, or its worker died (crash, nonzero exit)
+``TIMEOUT`` the job exceeded its deadline and was terminated
+``CANCELLED`` the batch was cancelled (or hit its batch deadline) first
+========== ==============================================================
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.connection
+import os
+import threading
+import time
+import traceback
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..obs.profile import Profile, merge_profiles, profile_of
+from ..obs.trace import Tracer, ensure_tracer
+from .spec import (
+    CANCELLED,
+    CheckSpec,
+    ERROR,
+    FAIL,
+    JobResult,
+    PASS,
+    TIMEOUT,
+)
+
+
+class BatchReport:
+    """All job results of one batch, in input order, plus batch totals."""
+
+    def __init__(
+        self,
+        results: List[JobResult],
+        *,
+        wall_ms: float,
+        jobs: int,
+        profile: Optional[Profile] = None,
+    ) -> None:
+        self.results = results
+        self.wall_ms = wall_ms
+        self.jobs = jobs
+        #: per-job profiles merged by summation (aggregate compute; may
+        #: exceed wall_ms under parallelism -- the gap is the speedup)
+        self.profile = profile
+
+    @property
+    def ok(self) -> bool:
+        return all(result.verdict == PASS for result in self.results)
+
+    def counts(self) -> Dict[str, int]:
+        tally: Dict[str, int] = {}
+        for result in self.results:
+            tally[result.verdict] = tally.get(result.verdict, 0) + 1
+        return tally
+
+    def summary(self) -> str:
+        parts = [
+            "{} {}".format(count, verdict)
+            for verdict, count in sorted(self.counts().items())
+        ]
+        return "{} jobs ({}) in {:.1f} ms on {} worker{}".format(
+            len(self.results),
+            ", ".join(parts) if parts else "empty",
+            self.wall_ms,
+            self.jobs,
+            "" if self.jobs == 1 else "s",
+        )
+
+    def __repr__(self) -> str:
+        return "BatchReport({})".format(self.summary())
+
+
+# -- in-process execution ----------------------------------------------------
+
+
+def execute_spec(
+    spec: CheckSpec,
+    index: int = 0,
+    *,
+    cache_dir: Optional[str] = None,
+    profile: bool = False,
+) -> JobResult:
+    """Run one spec to completion in this process.
+
+    The sequential reference semantics: the pooled executor must produce
+    byte-identical :meth:`~repro.batch.spec.JobResult.canonical` documents
+    to this function for every spec.  Each call builds a fresh pipeline --
+    fresh environment, alphabet table, and in-memory cache (optionally
+    layered over the shared disk store) -- so specs cannot interfere.
+    """
+    from .. import api
+    from ..engine.cache import CompilationCache
+    from ..engine.diskcache import DiskCache
+
+    started = time.perf_counter()
+    obs = Tracer() if profile else None
+    cache = None
+    if cache_dir is not None:
+        cache = CompilationCache(disk=DiskCache(cache_dir))
+    check = None
+    try:
+        if spec.kind == "selftest":
+            result = _run_selftest(spec, index, started)
+        elif spec.kind == "requirement":
+            from ..ota.requirements import check_requirement
+
+            check = check_requirement(
+                spec.req_id, passes=spec.passes, obs=obs, cache=cache
+            )
+            result = JobResult.of_check_result(index, spec.check_id, check)
+        elif spec.kind == "refinement":
+            check = api.check_refinement(
+                spec.spec,
+                spec.impl,
+                spec.model,
+                env=spec.environment(),
+                name=spec.name,
+                passes=spec.passes,
+                cache=cache,
+                obs=obs,
+                **_budget(spec),
+            )
+            result = JobResult.of_check_result(index, spec.check_id, check)
+        else:
+            check = api.check_property(
+                spec.term,
+                spec.property_name,
+                env=spec.environment(),
+                name=spec.name,
+                passes=spec.passes,
+                cache=cache,
+                obs=obs,
+                **_budget(spec),
+            )
+            result = JobResult.of_check_result(index, spec.check_id, check)
+    except Exception as error:
+        result = JobResult(
+            index,
+            spec.check_id,
+            ERROR,
+            name=spec.name,
+            error="{}: {}".format(type(error).__name__, error),
+        )
+    result.duration_ms = (time.perf_counter() - started) * 1000.0
+    result.worker_pid = os.getpid()
+    if profile and check is not None and check.profile is not None:
+        result.profile = check.profile.as_dict()
+    return result
+
+
+def _budget(spec: CheckSpec) -> Dict[str, Any]:
+    return {} if spec.max_states is None else {"max_states": spec.max_states}
+
+
+def _run_selftest(spec: CheckSpec, index: int, started: float) -> JobResult:
+    """Fault-injection ops: exercise the executor's failure handling."""
+    op = spec.op or ""
+    if op == "pass":
+        return JobResult(index, spec.check_id, PASS, name=spec.name)
+    if op == "fail":
+        return JobResult(
+            index,
+            spec.check_id,
+            FAIL,
+            name=spec.name,
+            counterexample={
+                "kind": "trace",
+                "trace": ["selftest"],
+                "description": "injected failure",
+            },
+        )
+    if op == "raise":
+        raise RuntimeError("injected worker exception")
+    if op.startswith("sleep:"):
+        time.sleep(float(op.split(":", 1)[1]))
+        return JobResult(index, spec.check_id, PASS, name=spec.name)
+    if op.startswith("exit:"):
+        # simulate a hard crash (segfault-alike): no teardown, no result
+        os._exit(int(op.split(":", 1)[1]))
+    raise ValueError("unknown selftest op {!r}".format(op))
+
+
+# -- worker process ----------------------------------------------------------
+
+
+def _worker_main(
+    conn,
+    spec_doc: Dict[str, Any],
+    index: int,
+    cache_dir: Optional[str],
+    want_profile: bool,
+) -> None:
+    """Entry point of one worker process: run one spec, send one document.
+
+    Top-level (not a closure) so it works under the ``spawn`` start method
+    as well as ``fork``.  The spec crosses the boundary as its JSON document
+    -- the same schema as the manifest -- so workers never unpickle code.
+    """
+    try:
+        spec = CheckSpec.from_doc(spec_doc)
+        result = execute_spec(
+            spec, index, cache_dir=cache_dir, profile=want_profile
+        )
+        conn.send(result.to_doc())
+    except BaseException:
+        # last-resort: report rather than die silently (a swallowed worker
+        # death would surface as a generic exit-code ERROR upstream)
+        try:
+            conn.send(
+                JobResult(
+                    index,
+                    spec_doc.get("id"),
+                    ERROR,
+                    error=traceback.format_exc(limit=3),
+                ).to_doc()
+            )
+        except OSError:
+            pass
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+class _Running:
+    """One in-flight worker: its process, pipe end, and deadline."""
+
+    __slots__ = ("index", "spec", "process", "conn", "deadline")
+
+    def __init__(self, index, spec, process, conn, deadline):
+        self.index = index
+        self.spec = spec
+        self.process = process
+        self.conn = conn
+        self.deadline = deadline
+
+
+def run_batch(
+    specs: Sequence[CheckSpec],
+    *,
+    jobs: int = 1,
+    timeout: Optional[float] = None,
+    batch_timeout: Optional[float] = None,
+    cache_dir: Optional[str] = None,
+    obs: Optional[Tracer] = None,
+    cancel: Optional[threading.Event] = None,
+    inline: bool = False,
+    profile: bool = False,
+) -> BatchReport:
+    """Verify every spec; return results in input order.
+
+    *jobs* bounds concurrent worker processes.  *timeout* is per job (wall
+    seconds); *batch_timeout* bounds the whole run -- jobs still pending
+    when it expires come back ``CANCELLED``, jobs already running are
+    terminated to ``CANCELLED`` too.  *cancel* is an external kill switch
+    checked between scheduler steps.  ``inline=True`` (or ``jobs <= 0``)
+    runs everything sequentially in this process -- no forks, same results.
+    """
+    tracer = ensure_tracer(obs)
+    want_profile = profile or tracer.enabled
+    started = time.perf_counter()
+    batch_deadline = (
+        None if batch_timeout is None else started + batch_timeout
+    )
+    with tracer.span("batch", jobs=jobs, specs=len(specs)) as root:
+        if inline or jobs <= 0:
+            results = _run_inline(
+                specs, cache_dir, want_profile, cancel, batch_deadline
+            )
+        else:
+            results = _run_pooled(
+                specs,
+                jobs,
+                timeout,
+                batch_deadline,
+                cache_dir,
+                want_profile,
+                cancel,
+            )
+        metrics = tracer.metrics
+        if tracer.enabled:
+            metrics.counter("batch.jobs").inc(len(results))
+            for result in results:
+                metrics.counter(
+                    "batch.{}".format(result.verdict.lower())
+                ).inc()
+    wall_ms = (time.perf_counter() - started) * 1000.0
+    merged = None
+    if want_profile:
+        member_profiles = [
+            Profile.from_dict(result.profile)
+            for result in results
+            if result.profile is not None
+        ]
+        merged = merge_profiles(member_profiles)
+    return BatchReport(
+        results, wall_ms=wall_ms, jobs=max(jobs, 1), profile=merged
+    )
+
+
+def _cancelled_result(index: int, spec: CheckSpec) -> JobResult:
+    return JobResult(
+        index, spec.check_id, CANCELLED, name=spec.name, error="batch cancelled"
+    )
+
+
+def _run_inline(
+    specs: Sequence[CheckSpec],
+    cache_dir: Optional[str],
+    want_profile: bool,
+    cancel: Optional[threading.Event],
+    batch_deadline: Optional[float],
+) -> List[JobResult]:
+    results: List[JobResult] = []
+    for index, spec in enumerate(specs):
+        expired = (
+            batch_deadline is not None and time.perf_counter() >= batch_deadline
+        )
+        if (cancel is not None and cancel.is_set()) or expired:
+            results.append(_cancelled_result(index, spec))
+            continue
+        results.append(
+            execute_spec(spec, index, cache_dir=cache_dir, profile=want_profile)
+        )
+    return results
+
+
+def _run_pooled(
+    specs: Sequence[CheckSpec],
+    jobs: int,
+    timeout: Optional[float],
+    batch_deadline: Optional[float],
+    cache_dir: Optional[str],
+    want_profile: bool,
+    cancel: Optional[threading.Event],
+) -> List[JobResult]:
+    context = multiprocessing.get_context()
+    results: Dict[int, JobResult] = {}
+    pending = list(enumerate(specs))
+    pending.reverse()  # pop() from the tail = input order
+    running: List[_Running] = []
+
+    def launch(index: int, spec: CheckSpec) -> None:
+        parent_conn, child_conn = context.Pipe(duplex=False)
+        process = context.Process(
+            target=_worker_main,
+            args=(child_conn, spec.to_doc(), index, cache_dir, want_profile),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()  # parent keeps only the read end
+        deadline = (
+            None if timeout is None else time.perf_counter() + timeout
+        )
+        running.append(_Running(index, spec, process, parent_conn, deadline))
+
+    def reap(slot: _Running, verdict: str, error: str) -> None:
+        if slot.process.is_alive():
+            slot.process.terminate()
+        slot.process.join()
+        try:
+            slot.conn.close()
+        except OSError:
+            pass
+        running.remove(slot)
+        results[slot.index] = JobResult(
+            slot.index,
+            slot.spec.check_id,
+            verdict,
+            name=slot.spec.name,
+            error=error,
+        )
+
+    try:
+        while pending or running:
+            now = time.perf_counter()
+            batch_expired = batch_deadline is not None and now >= batch_deadline
+            cancelled = (cancel is not None and cancel.is_set()) or batch_expired
+            if cancelled:
+                for slot in list(running):
+                    reap(slot, CANCELLED, "batch cancelled")
+                while pending:
+                    index, spec = pending.pop()
+                    results[index] = _cancelled_result(index, spec)
+                break
+
+            while pending and len(running) < jobs:
+                index, spec = pending.pop()
+                launch(index, spec)
+
+            # wake on the earliest event: a completion, a per-job deadline,
+            # the batch deadline, or a periodic cancellation poll
+            wait_until = now + 0.1
+            for slot in running:
+                if slot.deadline is not None:
+                    wait_until = min(wait_until, slot.deadline)
+            if batch_deadline is not None:
+                wait_until = min(wait_until, batch_deadline)
+            ready = multiprocessing.connection.wait(
+                [slot.conn for slot in running],
+                timeout=max(0.0, wait_until - time.perf_counter()),
+            )
+
+            for slot in list(running):
+                if slot.conn in ready:
+                    try:
+                        doc = slot.conn.recv()
+                    except (EOFError, OSError):
+                        # pipe closed with no payload: the worker died
+                        # before reporting (crash, os._exit, signal)
+                        slot.process.join()
+                        reap(
+                            slot,
+                            ERROR,
+                            "worker exited with code {}".format(
+                                slot.process.exitcode
+                            ),
+                        )
+                        continue
+                    slot.process.join()
+                    try:
+                        slot.conn.close()
+                    except OSError:
+                        pass
+                    running.remove(slot)
+                    results[slot.index] = JobResult.from_doc(doc)
+                elif (
+                    slot.deadline is not None
+                    and time.perf_counter() >= slot.deadline
+                ):
+                    reap(
+                        slot,
+                        TIMEOUT,
+                        "job exceeded {:.1f}s timeout".format(timeout),
+                    )
+    except BaseException:
+        # interrupted (e.g. KeyboardInterrupt): never strand workers
+        for slot in running:
+            if slot.process.is_alive():
+                slot.process.terminate()
+            slot.process.join()
+        raise
+    return [results[index] for index in range(len(specs))]

@@ -1,0 +1,432 @@
+"""Check specifications, job results and manifests for batch verification.
+
+A batch is a list of :class:`CheckSpec` values -- each one a self-contained
+description of a single check (what to verify, in which semantic model,
+under which pass configuration and state budget).  Specs serialise to plain
+JSON documents: that is both the ``cspbatch`` manifest format and the wire
+format the process-pool executor ships to its workers, so everything a
+worker can be asked to do is expressible as data, replayable from a file,
+and safe to load (no pickled code).
+
+Four spec kinds:
+
+``refinement``
+    ``spec [model= impl`` with inline process terms (encoded with the
+    :mod:`repro.quickcheck.serialise` corpus codec) plus the named
+    equations both sides reference.
+``property``
+    ``term :[deadlock free]`` / ``divergence free`` / ``deterministic``,
+    same term encoding.
+``requirement``
+    One row of the paper's Table III (``"R01"``..``"R05"``); the worker
+    rebuilds the session system itself, so the manifest entry is one line.
+``selftest``
+    Executor fault-injection hooks (``pass`` / ``fail`` / ``raise`` /
+    ``sleep:SECONDS`` / ``exit:CODE``) used by the executor's own tests and
+    CI to prove crash isolation without a hand-built broken model.
+
+A :class:`JobResult` is the JSON-shaped outcome of one spec: a verdict
+(:data:`PASS` ... :data:`CANCELLED`), the counterexample (kind, event
+trace, FDR-style description), search statistics, and per-job timing and
+profile data.  :meth:`JobResult.canonical` strips the fields that
+legitimately vary between runs (wall time, worker pid, profile), leaving
+exactly the bytes that must be identical between sequential and parallel
+execution -- the conformance corpus and the batch oracle compare those.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, IO, List, Optional, Sequence, Union
+
+from ..csp.process import Environment, Process
+from ..fdr.refine import CheckResult
+
+#: manifest / wire format version
+BATCH_FORMAT_VERSION = 1
+
+#: job verdicts
+PASS = "PASS"
+FAIL = "FAIL"
+ERROR = "ERROR"
+TIMEOUT = "TIMEOUT"
+CANCELLED = "CANCELLED"
+
+VERDICTS = (PASS, FAIL, ERROR, TIMEOUT, CANCELLED)
+
+_KINDS = ("refinement", "property", "requirement", "selftest")
+
+
+class ManifestError(ValueError):
+    """The manifest (or one spec document) is outside the batch schema."""
+
+
+class CheckSpec:
+    """One self-contained check: the unit the batch executor schedules."""
+
+    def __init__(
+        self,
+        kind: str,
+        *,
+        check_id: Optional[str] = None,
+        spec: Optional[Process] = None,
+        impl: Optional[Process] = None,
+        term: Optional[Process] = None,
+        model: str = "T",
+        property_name: Optional[str] = None,
+        req_id: Optional[str] = None,
+        op: Optional[str] = None,
+        bindings: Optional[Dict[str, Process]] = None,
+        passes: str = "default",
+        max_states: Optional[int] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        if kind not in _KINDS:
+            raise ManifestError(
+                "unknown check kind {!r}; known: {}".format(kind, ", ".join(_KINDS))
+            )
+        self.kind = kind
+        self.check_id = check_id
+        self.spec = spec
+        self.impl = impl
+        self.term = term
+        self.model = model
+        self.property_name = property_name
+        self.req_id = req_id
+        self.op = op
+        self.bindings: Dict[str, Process] = dict(bindings or {})
+        self.passes = passes
+        self.max_states = max_states
+        self.name = name
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def refinement(
+        cls,
+        spec: Process,
+        impl: Process,
+        model: str = "T",
+        *,
+        check_id: Optional[str] = None,
+        bindings: Optional[Dict[str, Process]] = None,
+        **options,
+    ) -> "CheckSpec":
+        return cls(
+            "refinement",
+            check_id=check_id,
+            spec=spec,
+            impl=impl,
+            model=model,
+            bindings=bindings,
+            **options,
+        )
+
+    @classmethod
+    def property_check(
+        cls,
+        term: Process,
+        property_name: str,
+        *,
+        check_id: Optional[str] = None,
+        bindings: Optional[Dict[str, Process]] = None,
+        **options,
+    ) -> "CheckSpec":
+        return cls(
+            "property",
+            check_id=check_id,
+            term=term,
+            property_name=property_name,
+            bindings=bindings,
+            **options,
+        )
+
+    @classmethod
+    def requirement(cls, req_id: str, **options) -> "CheckSpec":
+        return cls("requirement", check_id=options.pop("check_id", req_id), req_id=req_id, **options)
+
+    @classmethod
+    def selftest(cls, op: str, *, check_id: Optional[str] = None, **options) -> "CheckSpec":
+        return cls("selftest", check_id=check_id, op=op, **options)
+
+    # -- environment ---------------------------------------------------------
+
+    def environment(self) -> Environment:
+        env = Environment()
+        for bound_name in sorted(self.bindings):
+            env.bind(bound_name, self.bindings[bound_name])
+        return env
+
+    # -- JSON ----------------------------------------------------------------
+
+    def to_doc(self) -> Dict[str, Any]:
+        from ..quickcheck.serialise import encode_process
+
+        doc: Dict[str, Any] = {"kind": self.kind}
+        if self.check_id is not None:
+            doc["id"] = self.check_id
+        if self.kind == "refinement":
+            doc["model"] = self.model
+            doc["spec"] = encode_process(self.spec)
+            doc["impl"] = encode_process(self.impl)
+        elif self.kind == "property":
+            doc["property"] = self.property_name
+            doc["term"] = encode_process(self.term)
+        elif self.kind == "requirement":
+            doc["req"] = self.req_id
+        else:
+            doc["op"] = self.op
+        if self.bindings:
+            doc["env"] = {
+                bound_name: encode_process(body)
+                for bound_name, body in sorted(self.bindings.items())
+            }
+        if self.passes != "default":
+            doc["passes"] = self.passes
+        if self.max_states is not None:
+            doc["max_states"] = self.max_states
+        if self.name is not None:
+            doc["name"] = self.name
+        return doc
+
+    @classmethod
+    def from_doc(cls, doc: Dict[str, Any]) -> "CheckSpec":
+        from ..quickcheck.serialise import CorpusEncodingError, decode_process
+
+        if not isinstance(doc, dict):
+            raise ManifestError("a check entry must be a JSON object")
+        kind = doc.get("kind")
+        if kind not in _KINDS:
+            raise ManifestError(
+                "unknown check kind {!r}; known: {}".format(kind, ", ".join(_KINDS))
+            )
+        try:
+            bindings = {
+                bound_name: decode_process(body)
+                for bound_name, body in (doc.get("env") or {}).items()
+            }
+            spec = impl = term = None
+            if kind == "refinement":
+                spec = decode_process(doc["spec"])
+                impl = decode_process(doc["impl"])
+            elif kind == "property":
+                term = decode_process(doc["term"])
+        except (CorpusEncodingError, KeyError, TypeError) as error:
+            raise ManifestError(
+                "undecodable check entry {!r}: {}".format(doc.get("id"), error)
+            ) from None
+        if kind == "property" and not doc.get("property"):
+            raise ManifestError("property check entry is missing 'property'")
+        if kind == "requirement" and not doc.get("req"):
+            raise ManifestError("requirement check entry is missing 'req'")
+        if kind == "selftest" and not doc.get("op"):
+            raise ManifestError("selftest check entry is missing 'op'")
+        return cls(
+            kind,
+            check_id=doc.get("id"),
+            spec=spec,
+            impl=impl,
+            term=term,
+            model=doc.get("model", "T"),
+            property_name=doc.get("property"),
+            req_id=doc.get("req"),
+            op=doc.get("op"),
+            bindings=bindings,
+            passes=doc.get("passes", "default"),
+            max_states=doc.get("max_states"),
+            name=doc.get("name"),
+        )
+
+    def __repr__(self) -> str:
+        return "CheckSpec({!r}, id={!r})".format(self.kind, self.check_id)
+
+
+class JobResult:
+    """Outcome of one spec, in wire/JSONL shape."""
+
+    def __init__(
+        self,
+        index: int,
+        check_id: Optional[str],
+        verdict: str,
+        *,
+        name: Optional[str] = None,
+        counterexample: Optional[Dict[str, Any]] = None,
+        states_explored: int = 0,
+        transitions_explored: int = 0,
+        error: Optional[str] = None,
+        duration_ms: float = 0.0,
+        worker_pid: Optional[int] = None,
+        profile: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.index = index
+        self.check_id = check_id
+        self.verdict = verdict
+        self.name = name
+        self.counterexample = counterexample
+        self.states_explored = states_explored
+        self.transitions_explored = transitions_explored
+        self.error = error
+        self.duration_ms = duration_ms
+        self.worker_pid = worker_pid
+        self.profile = profile
+
+    @property
+    def passed(self) -> bool:
+        return self.verdict == PASS
+
+    @classmethod
+    def of_check_result(
+        cls,
+        index: int,
+        check_id: Optional[str],
+        result: CheckResult,
+        *,
+        duration_ms: float = 0.0,
+        worker_pid: Optional[int] = None,
+        profile: Optional[Dict[str, Any]] = None,
+    ) -> "JobResult":
+        counterexample = None
+        violation = result.counterexample
+        if violation is not None:
+            counterexample = {
+                "kind": violation.kind,
+                "trace": [str(event) for event in violation.trace],
+                "description": violation.describe(),
+            }
+        return cls(
+            index,
+            check_id,
+            PASS if result.passed else FAIL,
+            name=result.name,
+            counterexample=counterexample,
+            states_explored=result.states_explored,
+            transitions_explored=result.transitions_explored,
+            duration_ms=duration_ms,
+            worker_pid=worker_pid,
+            profile=profile,
+        )
+
+    def to_doc(self) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {
+            "index": self.index,
+            "id": self.check_id,
+            "verdict": self.verdict,
+            "name": self.name,
+            "counterexample": self.counterexample,
+            "states_explored": self.states_explored,
+            "transitions_explored": self.transitions_explored,
+            "error": self.error,
+            "duration_ms": round(self.duration_ms, 3),
+            "worker_pid": self.worker_pid,
+        }
+        if self.profile is not None:
+            doc["profile"] = self.profile
+        return doc
+
+    @classmethod
+    def from_doc(cls, doc: Dict[str, Any]) -> "JobResult":
+        return cls(
+            doc["index"],
+            doc.get("id"),
+            doc["verdict"],
+            name=doc.get("name"),
+            counterexample=doc.get("counterexample"),
+            states_explored=doc.get("states_explored", 0),
+            transitions_explored=doc.get("transitions_explored", 0),
+            error=doc.get("error"),
+            duration_ms=doc.get("duration_ms", 0.0),
+            worker_pid=doc.get("worker_pid"),
+            profile=doc.get("profile"),
+        )
+
+    def canonical(self) -> Dict[str, Any]:
+        """The run-invariant view: what parallel runs must reproduce exactly.
+
+        Excludes wall time, worker pid and the profile -- everything else
+        (verdict, label, counterexample kind/trace/description, search
+        statistics, error text) must be byte-identical between a sequential
+        run and any parallel or cache-warm run of the same batch.
+        """
+        return {
+            "id": self.check_id,
+            "verdict": self.verdict,
+            "name": self.name,
+            "counterexample": self.counterexample,
+            "states_explored": self.states_explored,
+            "transitions_explored": self.transitions_explored,
+            "error": self.error,
+        }
+
+    def canonical_line(self) -> str:
+        return json.dumps(self.canonical(), sort_keys=True)
+
+    def summary(self) -> str:
+        label = self.check_id or self.name or "job {}".format(self.index)
+        line = "{}: {}".format(label, self.verdict)
+        if self.counterexample is not None:
+            line += " -- " + self.counterexample["description"]
+        if self.error:
+            line += " -- " + self.error.splitlines()[0]
+        return line
+
+    def __repr__(self) -> str:
+        return "JobResult({!r}, {!r})".format(self.check_id, self.verdict)
+
+
+# -- manifests ---------------------------------------------------------------
+
+
+def manifest_document(specs: Sequence[CheckSpec]) -> Dict[str, Any]:
+    return {
+        "format": BATCH_FORMAT_VERSION,
+        "checks": [spec.to_doc() for spec in specs],
+    }
+
+
+def dump_manifest(specs: Sequence[CheckSpec], target: Union[str, IO[str]]) -> None:
+    doc = manifest_document(specs)
+    if isinstance(target, str):
+        with open(target, "w", encoding="utf-8") as handle:
+            json.dump(doc, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    else:
+        json.dump(doc, target, indent=2, sort_keys=True)
+        target.write("\n")
+
+
+def parse_manifest(doc: Any) -> List[CheckSpec]:
+    if not isinstance(doc, dict):
+        raise ManifestError("a manifest must be a JSON object")
+    if doc.get("format") != BATCH_FORMAT_VERSION:
+        raise ManifestError(
+            "unsupported manifest format {!r} (expected {})".format(
+                doc.get("format"), BATCH_FORMAT_VERSION
+            )
+        )
+    checks = doc.get("checks")
+    if not isinstance(checks, list):
+        raise ManifestError("manifest 'checks' must be a list")
+    return [CheckSpec.from_doc(entry) for entry in checks]
+
+
+def load_manifest(source: Union[str, IO[str]]) -> List[CheckSpec]:
+    """Parse a manifest file (or handle) into its spec list."""
+    try:
+        if isinstance(source, str):
+            with open(source, "r", encoding="utf-8") as handle:
+                doc = json.load(handle)
+        else:
+            doc = json.load(source)
+    except ValueError as error:
+        raise ManifestError("manifest is not valid JSON: {}".format(error)) from None
+    return parse_manifest(doc)
+
+
+def requirement_specs(req_ids: Optional[Sequence[str]] = None) -> List[CheckSpec]:
+    """One requirement spec per Table III row (or per requested id)."""
+    if req_ids is None:
+        from ..ota.requirements import TABLE_III
+
+        req_ids = [row.req_id for row in TABLE_III]
+    return [CheckSpec.requirement(req_id) for req_id in req_ids]

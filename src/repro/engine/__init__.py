@@ -9,7 +9,9 @@ caller.  The pipeline owns three pieces of shared state:
   hashes an :class:`~repro.csp.events.Event` on the hot path;
 * a :class:`CompilationCache` memoising compiled LTSs and normalised
   specifications by structural fingerprint, so checking one specification
-  against many implementations compiles the shared side once;
+  against many implementations compiles the shared side once -- optionally
+  backed by a content-addressed on-disk :class:`DiskCache` shared across
+  worker processes and sessions (see :mod:`repro.batch`);
 * the check dispatch itself, including the on-the-fly implementation
   expansion that lets trace/failures checks exit on the first violation
   without materialising the full implementation state space;
@@ -21,6 +23,7 @@ caller.  The pipeline owns three pieces of shared state:
 
 from .alphabet import AlphabetTable, TAU_ID, TICK_ID, shared_table_of
 from .cache import CompilationCache, reachable_bindings, structural_key
+from .diskcache import DISKCACHE_FORMAT_VERSION, DiskCache, key_digest
 from .pipeline import VerificationPipeline, shared_cache
 from .plan import (
     CompilationPlan,
@@ -38,9 +41,12 @@ __all__ = [
     "CompilationPlan",
     "CompiledAutomaton",
     "ComponentProvenance",
+    "DISKCACHE_FORMAT_VERSION",
+    "DiskCache",
     "PreparedTerm",
     "VerificationPipeline",
     "component_provenance",
+    "key_digest",
     "reachable_bindings",
     "shared_cache",
     "shared_table_of",

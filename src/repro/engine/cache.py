@@ -13,10 +13,12 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
+from ..csp.events import AlphabetTable
 from ..csp.lts import LTS, StateSpaceLimitExceeded
 from ..csp.process import Environment, Process, ProcessRef
 from ..fdr.normalise import NormalisedSpec
 from ..obs.trace import NULL_TRACER, Tracer
+from .diskcache import DiskCache
 
 #: (root fingerprint, sorted (name, body fingerprint) of reachable bindings)
 CacheKey = Tuple[str, Tuple[Tuple[str, str], ...]]
@@ -69,9 +71,16 @@ class CompilationCache:
     any state budget at least as large as its own state count; a lookup under
     a smaller budget re-raises :class:`StateSpaceLimitExceeded` exactly as a
     fresh compile would.
+
+    An optional :class:`~repro.engine.diskcache.DiskCache` layers beneath
+    the in-memory maps: LTS lookups that miss in memory consult the disk
+    store (re-interning events into the caller's alphabet table), and every
+    stored LTS is written through, so compilation results are shared across
+    processes and sessions.  Normalised and compressed entries stay
+    memory-only -- both rebuild deterministically from a disk-cached LTS.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, disk: Optional[DiskCache] = None) -> None:
         self._lts: Dict[CacheKey, LTS] = {}
         self._normalised: Dict[CacheKey, NormalisedSpec] = {}
         #: compressed component automata, keyed by (structural key, pass
@@ -84,6 +93,9 @@ class CompilationCache:
         self.normalised_misses = 0
         self.compressed_hits = 0
         self.compressed_misses = 0
+        #: optional on-disk layer consulted below the in-memory maps
+        self.disk = disk
+        self.disk_hits = 0
         #: tracer whose metrics mirror the hit/miss counters; bound by the
         #: pipeline when observability is enabled, otherwise the null tracer
         self.obs: Tracer = NULL_TRACER
@@ -92,8 +104,22 @@ class CompilationCache:
         suffix = "hits" if hit else "misses"
         self.obs.metrics.counter("cache.{}_{}".format(kind, suffix)).inc()
 
-    def get_lts(self, key: CacheKey, max_states: int) -> Optional[LTS]:
+    def get_lts(
+        self,
+        key: CacheKey,
+        max_states: int,
+        table: Optional[AlphabetTable] = None,
+    ) -> Optional[LTS]:
         cached = self._lts.get(key)
+        if cached is None and self.disk is not None:
+            cached = self.disk.get_lts(key, table=table)
+            if cached is not None:
+                # promote so repeat lookups skip the filesystem; budget
+                # enforcement below applies to disk hits identically
+                self._lts[key] = cached
+                self.disk_hits += 1
+                if self.obs.enabled:
+                    self._record("disk", True)
         if cached is None:
             self.lts_misses += 1
             if self.obs.enabled:
@@ -108,6 +134,8 @@ class CompilationCache:
 
     def put_lts(self, key: CacheKey, lts: LTS) -> None:
         self._lts[key] = lts
+        if self.disk is not None:
+            self.disk.put_lts(key, lts)
 
     def get_normalised(
         self, key: CacheKey, max_states: int
@@ -151,7 +179,7 @@ class CompilationCache:
         self._compressed.clear()
 
     def stats(self) -> Dict[str, int]:
-        return {
+        stats = {
             "lts_entries": len(self._lts),
             "lts_hits": self.lts_hits,
             "lts_misses": self.lts_misses,
@@ -162,3 +190,9 @@ class CompilationCache:
             "compressed_hits": self.compressed_hits,
             "compressed_misses": self.compressed_misses,
         }
+        if self.disk is not None:
+            # lts_hits counts everything served from cache; disk_hits the
+            # subset that had to be read (and promoted) from the disk layer
+            stats["disk_promotions"] = self.disk_hits
+            stats.update(self.disk.stats())
+        return stats

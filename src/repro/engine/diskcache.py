@@ -1,0 +1,255 @@
+"""A content-addressed on-disk store for compiled LTSs.
+
+The in-memory :class:`~repro.engine.cache.CompilationCache` dies with its
+process, which wastes exactly the work a batch run repeats most: every
+worker of :mod:`repro.batch` (and every ``cspbatch`` invocation) recompiles
+the same specification automata from scratch.  This module persists compiled
+LTSs under a content address -- the SHA-256 of the structural cache key plus
+the applied pass configuration -- so compilation results survive across
+processes and sessions and can be shared by concurrently running workers.
+
+Design constraints, in order:
+
+* **Soundness over availability.**  Every read validates the format version
+  and the full stored key before trusting an entry; a file that is missing,
+  truncated, garbage, version-skewed, or a digest collision is treated as a
+  cache miss (and quarantined), never as data.  Workers therefore tolerate
+  a sibling crashing mid-write or an operator truncating files at random.
+* **Atomic writes.**  Entries are written to a temporary file in the cache
+  directory and published with ``os.replace``, so concurrent readers see
+  either the complete entry or nothing.  Two workers racing to publish the
+  same key both write identical bytes; last rename wins harmlessly.
+* **Table independence.**  An LTS's transition labels are dense ids from
+  the compiling pipeline's :class:`~repro.csp.events.AlphabetTable`.  Ids
+  are private to a process, so entries store the *events themselves*
+  (channel + field values) and re-intern them into the reading pipeline's
+  table on load.  State numbering and per-state transition order are
+  preserved exactly, which keeps BFS exploration order -- and therefore
+  verdicts, counterexample traces and states-explored counts -- identical
+  between a cold compile and a warm read.
+
+What is *not* stored: the per-state source terms (``LTS.terms``).  They
+exist only for diagnostics (counterexample provenance) and are not part of
+any verdict or trace; a warm-read LTS carries ``None`` terms, and the
+in-memory cache layered above keeps the term-full LTS for the process that
+compiled it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..csp.events import AlphabetTable, Event
+from ..csp.lts import LTS
+
+#: bump when the entry layout changes; readers ignore other versions
+DISKCACHE_FORMAT_VERSION = 1
+
+#: JSON-encodable event field values (tuples encode as tagged lists)
+_Value = Union[str, int, bool, list]
+
+
+def _encode_field(value) -> object:
+    if isinstance(value, tuple):
+        return {"t": [_encode_field(v) for v in value]}
+    return value
+
+
+def _decode_field(doc):
+    if isinstance(doc, dict):
+        return tuple(_decode_field(v) for v in doc["t"])
+    return doc
+
+
+def _encode_event(event: Event) -> List[object]:
+    return [event.channel, [_encode_field(f) for f in event.fields]]
+
+
+def _decode_event(doc: Sequence[object]) -> Event:
+    channel, fields = doc
+    return Event(channel, tuple(_decode_field(f) for f in fields))
+
+
+def key_digest(key, passes: Tuple[str, ...] = ()) -> str:
+    """The content address of one cache entry.
+
+    *key* is a :data:`~repro.engine.cache.CacheKey` (nested tuples of
+    strings), *passes* the applied pass names.  ``repr`` of that structure
+    is stable across processes and Python versions for the string/tuple
+    shapes involved, and the full key is stored in the entry and compared
+    on read, so a digest collision degrades to a miss, not to wrong data.
+    """
+    material = repr((DISKCACHE_FORMAT_VERSION, key, tuple(passes)))
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+def _entry_document(key, passes: Tuple[str, ...], lts: LTS) -> Dict[str, object]:
+    used: List[int] = []
+    seen = set()
+    for state in range(lts.state_count):
+        for eid, _target in lts.successors_ids(state):
+            if eid not in seen:
+                seen.add(eid)
+                used.append(eid)
+    # ascending original id = the order the compiler first interned them,
+    # so a fresh table re-interns in the same sequence as a cold compile
+    used.sort()
+    local_of = {eid: index for index, eid in enumerate(used)}
+    event_of = lts.table.event_of
+    return {
+        "format": DISKCACHE_FORMAT_VERSION,
+        "key": repr((key, tuple(passes))),
+        "initial": lts.initial,
+        "events": [_encode_event(event_of(eid)) for eid in used],
+        "transitions": [
+            [[local_of[eid], target] for eid, target in lts.successors_ids(state)]
+            for state in range(lts.state_count)
+        ],
+    }
+
+
+def _lts_of(doc: Dict[str, object], table: Optional[AlphabetTable]) -> LTS:
+    lts = LTS(table)
+    intern = lts.table.intern
+    ids = [intern(_decode_event(entry)) for entry in doc["events"]]
+    transitions = doc["transitions"]
+    for _ in range(len(transitions)):
+        lts.add_state()
+    for state, edges in enumerate(transitions):
+        for local, target in edges:
+            lts.add_transition_id(state, ids[local], target)
+    lts.initial = doc["initial"]
+    return lts
+
+
+class DiskCache:
+    """Content-addressed LTS store shared across workers and sessions."""
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        #: entries rejected by validation (and quarantined) on read
+        self.corrupt = 0
+        self.writes = 0
+
+    # -- paths ---------------------------------------------------------------
+
+    def path_of(self, key, passes: Tuple[str, ...] = ()) -> str:
+        return os.path.join(
+            self.directory, key_digest(key, passes) + ".json"
+        )
+
+    def __len__(self) -> int:
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return 0
+        return sum(1 for name in names if name.endswith(".json"))
+
+    # -- reads ---------------------------------------------------------------
+
+    def get_lts(
+        self,
+        key,
+        passes: Tuple[str, ...] = (),
+        table: Optional[AlphabetTable] = None,
+    ) -> Optional[LTS]:
+        """The stored LTS for *key*, re-interned into *table*, or None.
+
+        Any defect in the entry -- unreadable file, bad JSON, version skew,
+        stored-key mismatch, structural garbage -- counts as a miss; the
+        offending file is removed so it cannot fail every future read.
+        """
+        path = self.path_of(key, passes)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                doc = json.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, ValueError):
+            self._quarantine(path)
+            self.misses += 1
+            return None
+        try:
+            if doc["format"] != DISKCACHE_FORMAT_VERSION:
+                raise ValueError("format version skew")
+            if doc["key"] != repr((key, tuple(passes))):
+                raise ValueError("stored key mismatch")
+            lts = _lts_of(doc, table)
+        except (KeyError, IndexError, TypeError, ValueError):
+            self._quarantine(path)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return lts
+
+    def _quarantine(self, path: str) -> None:
+        self.corrupt += 1
+        try:
+            os.remove(path)
+        except OSError:
+            pass
+
+    # -- writes --------------------------------------------------------------
+
+    def put_lts(self, key, lts: LTS, passes: Tuple[str, ...] = ()) -> bool:
+        """Persist *lts* under *key*; returns False if the write failed.
+
+        The entry is staged in a temporary file in the cache directory and
+        published atomically, so a concurrent reader (or a crash mid-write)
+        never observes a partial entry.  Failures are swallowed: the disk
+        layer is an accelerator, never a correctness dependency.
+        """
+        doc = _entry_document(key, tuple(passes), lts)
+        path = self.path_of(key, passes)
+        try:
+            fd, staged = tempfile.mkstemp(
+                prefix=".staged-", suffix=".json", dir=self.directory
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(doc, handle, separators=(",", ":"))
+                os.replace(staged, path)
+            except BaseException:
+                try:
+                    os.remove(staged)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            return False
+        self.writes += 1
+        return True
+
+    # -- maintenance ---------------------------------------------------------
+
+    def clear(self) -> None:
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return
+        for name in names:
+            if name.endswith(".json"):
+                try:
+                    os.remove(os.path.join(self.directory, name))
+                except OSError:
+                    pass
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "disk_entries": len(self),
+            "disk_hits": self.hits,
+            "disk_misses": self.misses,
+            "disk_corrupt": self.corrupt,
+            "disk_writes": self.writes,
+        }
+
+    def __repr__(self) -> str:
+        return "DiskCache({!r}, {} entries)".format(self.directory, len(self))

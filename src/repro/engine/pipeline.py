@@ -75,7 +75,7 @@ class VerificationPipeline:
         """Compile *process* through the cache, in the pipeline's id space."""
         limit = self.max_states if max_states is None else max_states
         key = structural_key(process, self.env)
-        cached = self.cache.get_lts(key, limit)
+        cached = self.cache.get_lts(key, limit, table=self.table)
         if cached is not None:
             return cached
         obs = self.obs

@@ -37,6 +37,7 @@ from .profile import (
     Profile,
     STAGE_ORDER,
     aggregate_spans,
+    merge_profiles,
     overall_profile,
     profile_of,
 )
@@ -75,6 +76,7 @@ __all__ = [
     "export_jsonl",
     "global_metrics",
     "load_jsonl",
+    "merge_profiles",
     "overall_profile",
     "profile_of",
     "validate_file",

@@ -88,6 +88,21 @@ class Profile:
             "metrics": dict(self.metrics),
         }
 
+    @classmethod
+    def from_dict(cls, doc: Dict[str, object]) -> "Profile":
+        """Rebuild a profile from :meth:`as_dict` output.
+
+        The inverse (up to rounding) of :meth:`as_dict`; batch workers ship
+        their per-job profiles across the process boundary this way.
+        """
+        return cls(
+            float(doc.get("total_ms", 0.0)),
+            {stage: float(ms) for stage, ms in (doc.get("stages") or {}).items()},
+            {stage: int(n) for stage, n in (doc.get("spans") or {}).items()},
+            dict(doc.get("metrics") or {}),
+            str(doc.get("name", "profile")),
+        )
+
     def table(self) -> str:
         """The human-readable per-stage table behind ``--profile``."""
         total = self.total_ms or 1e-9
@@ -183,3 +198,35 @@ def overall_profile(tracer: Tracer, name: str = "run") -> Profile:
     return aggregate_spans(
         tracer.spans, metrics=tracer.metrics.snapshot(), name=name
     )
+
+
+def merge_profiles(profiles: Sequence[Profile], name: str = "batch") -> Profile:
+    """Fold many profiles into one by summation.
+
+    Stage milliseconds, span counts, and numeric metrics are summed;
+    non-numeric metric values keep the first occurrence.  The merged total
+    is the *sum of member totals* -- aggregate compute, not wall time -- so
+    a 4-worker batch's merged profile can exceed its wall clock; that gap
+    is the parallel speedup.  ``stage_sum() == total_ms`` still holds
+    because it holds for each member.
+    """
+    total_ms = 0.0
+    stages: Dict[str, float] = {}
+    counts: Dict[str, int] = {}
+    metrics: Dict[str, object] = {}
+    for profile in profiles:
+        total_ms += profile.total_ms
+        for stage, ms in profile.stages.items():
+            stages[stage] = stages.get(stage, 0.0) + ms
+        for stage, n in profile.counts.items():
+            counts[stage] = counts.get(stage, 0) + n
+        for key, value in profile.metrics.items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                existing = metrics.get(key, 0)
+                if isinstance(existing, (int, float)) and not isinstance(
+                    existing, bool
+                ):
+                    metrics[key] = existing + value
+                    continue
+            metrics.setdefault(key, value)
+    return Profile(total_ms, stages, counts, metrics, name)

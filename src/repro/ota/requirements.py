@@ -90,6 +90,7 @@ def _discharge(
     name: str,
     passes: str = "default",
     obs=None,
+    cache: CompilationCache = None,
 ) -> CheckResult:
     # composed session systems (ECUs, the VMG, an intruder where present)
     # run compress-before-compose; the ablation benchmark calls this with
@@ -103,7 +104,7 @@ def _discharge(
         env=env,
         name=name,
         passes=passes,
-        cache=_CACHE,
+        cache=cache if cache is not None else _CACHE,
         obs=obs,
     )
 
@@ -182,19 +183,26 @@ _BUILDERS: Dict[str, Callable[[], Tuple[Process, Process, Environment, str]]] = 
 }
 
 
-def check_requirement(req_id: str, passes: str = "default", obs=None) -> CheckResult:
+def check_requirement(
+    req_id: str,
+    passes: str = "default",
+    obs=None,
+    cache: CompilationCache = None,
+) -> CheckResult:
     """Discharge one Table III requirement through the shared facade path.
 
     Every requirement is the same shape -- build (spec, system, env, label),
     then trace refinement through :func:`repro.api.check_refinement` with
     the module's shared cache -- so they all run through this one function.
+    *cache* overrides that shared cache; batch workers pass one backed by
+    the on-disk store so compiled session systems survive across processes.
     """
     try:
         builder = _BUILDERS[req_id]
     except KeyError:
         raise KeyError("unknown requirement {!r}".format(req_id)) from None
     spec, impl, env, name = builder()
-    return _discharge(spec, impl, env, name, passes=passes, obs=obs)
+    return _discharge(spec, impl, env, name, passes=passes, obs=obs, cache=cache)
 
 
 def check_r01() -> CheckResult:

@@ -20,6 +20,7 @@ refinement  engine ``[T=`` verdict differs from the subset definition
 lazy-eager  on-the-fly and eager refinement disagree (verdict or cex)
 cache       a compilation-cache hit changes a verdict or counterexample
 compression a semantic pass changes a verdict, counterexample or deadlock
+batch       the batch wire format or executor changes a verdict or trace
 roundtrip   emitting CSPm and re-parsing changes the trace semantics
 extractor   the CAPL interpreter exhibits a trace the extracted model lacks
 ========== ==============================================================
@@ -385,6 +386,59 @@ def check_compression(value) -> None:
             )
 
 
+# -- oracle: batch executor vs direct pipeline --------------------------------------
+
+
+def _batch_input() -> Gen:
+    return g.tuples(_PROCESSES, _PROCESSES, g.sampled_from(["T", "F"]))
+
+
+def check_batch(value) -> None:
+    """The batch executor's wire format and dispatch change nothing.
+
+    Runs the same checks twice: directly through a pipeline, and as
+    :class:`~repro.batch.spec.CheckSpec` documents round-tripped through
+    the manifest encoding and discharged by
+    :func:`~repro.batch.executor.execute_spec` (the sequential reference
+    the pooled executor is itself held to).  Verdicts and counterexample
+    traces must agree.
+    """
+    from ..batch.spec import CheckSpec, FAIL, PASS
+
+    spec, impl, model = value
+    if model not in ("T", "F"):
+        raise Discard
+    direct_refine = VerificationPipeline().refinement(spec, impl, model)
+    direct_deadlock = VerificationPipeline().property_check(impl, "deadlock free")
+    for check_spec, direct in (
+        (CheckSpec.refinement(spec, impl, model), direct_refine),
+        (CheckSpec.property_check(impl, "deadlock free"), direct_deadlock),
+    ):
+        batched = _execute_roundtripped(check_spec)
+        expected = PASS if direct.passed else FAIL
+        if batched.verdict != expected:
+            raise OracleViolation(
+                "batch executor disagrees on {!r}: direct says {}, batch says "
+                "{}".format(check_spec, expected, batched.verdict)
+            )
+        if batched.verdict == FAIL:
+            direct_trace = [str(event) for event in direct.counterexample.trace]
+            if batched.counterexample["trace"] != direct_trace:
+                raise OracleViolation(
+                    "batch counterexample trace {} differs from the direct "
+                    "pipeline's {} on {!r}".format(
+                        batched.counterexample["trace"], direct_trace, check_spec
+                    )
+                )
+
+
+def _execute_roundtripped(check_spec):
+    from ..batch.executor import execute_spec
+    from ..batch.spec import CheckSpec
+
+    return execute_spec(CheckSpec.from_doc(check_spec.to_doc()))
+
+
 # -- oracle: CSPm emit/parse round-trip ---------------------------------------------
 
 _SEND = Channel("send", ["reqSw", "rptSw"])
@@ -536,6 +590,15 @@ _register(
         "repro.passes, repro.engine.plan",
         _compression_input(),
         check_compression,
+    )
+)
+_register(
+    Oracle(
+        "batch",
+        "batch wire format and executor agree with the direct pipeline",
+        "repro.batch.spec, repro.batch.executor",
+        _batch_input(),
+        check_batch,
     )
 )
 _register(

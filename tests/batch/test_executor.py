@@ -1,0 +1,174 @@
+"""The batch executor: sequential reference, pooled runs, determinism."""
+
+import pytest
+
+from repro import api
+from repro.batch import CheckSpec, execute_spec, requirement_specs, run_batch
+from repro.csp.events import Event
+from repro.csp.process import Prefix, ProcessRef, Stop
+
+A, B, C = Event("a"), Event("b"), Event("c")
+
+
+def mixed_specs():
+    good = Prefix(A, Prefix(B, Stop()))
+    bad = Prefix(A, Prefix(C, Stop()))
+    return [
+        CheckSpec.refinement(good, good, "T", check_id="refine-pass"),
+        CheckSpec.refinement(good, bad, "T", check_id="refine-fail"),
+        CheckSpec.refinement(good, bad, "F", check_id="refine-fail-F"),
+        CheckSpec.property_check(
+            ProcessRef("LOOP"),
+            "deadlock free",
+            check_id="prop-pass",
+            bindings={"LOOP": Prefix(A, ProcessRef("LOOP"))},
+        ),
+        CheckSpec.property_check(Prefix(A, Stop()), "deadlock free", check_id="prop-fail"),
+        CheckSpec.requirement("R02"),
+        CheckSpec.selftest("pass", check_id="self-pass"),
+        CheckSpec.selftest("fail", check_id="self-fail"),
+    ]
+
+
+EXPECTED = [
+    ("refine-pass", "PASS"),
+    ("refine-fail", "FAIL"),
+    ("refine-fail-F", "FAIL"),
+    ("prop-pass", "PASS"),
+    ("prop-fail", "FAIL"),
+    ("R02", "PASS"),
+    ("self-pass", "PASS"),
+    ("self-fail", "FAIL"),
+]
+
+
+def canonical(report):
+    return [result.canonical_line() for result in report.results]
+
+
+class TestExecuteSpec:
+    def test_verdicts_match_the_direct_api(self):
+        results = [execute_spec(spec, i) for i, spec in enumerate(mixed_specs())]
+        assert [(r.check_id, r.verdict) for r in results] == EXPECTED
+
+    def test_failing_refinement_carries_the_counterexample(self):
+        result = execute_spec(mixed_specs()[1])
+        assert result.counterexample["kind"] == "trace"
+        assert result.counterexample["trace"] == ["a"]
+        assert "description" in result.counterexample
+        assert result.states_explored > 0
+
+    def test_counterexample_agrees_with_direct_check(self):
+        spec = mixed_specs()[1]
+        direct = api.check_refinement(spec.spec, spec.impl, "T")
+        batched = execute_spec(spec)
+        assert batched.counterexample["trace"] == [
+            str(event) for event in direct.counterexample.trace
+        ]
+        assert batched.states_explored == direct.states_explored
+
+    def test_exception_becomes_error_verdict(self):
+        broken = CheckSpec.property_check(Prefix(A, Stop()), "deadlock free")
+        broken.property_name = "no such property"
+        result = execute_spec(broken, 4)
+        assert result.verdict == "ERROR"
+        assert "ValueError" in result.error
+        assert result.index == 4
+
+    def test_requirement_spec_runs_table_iii(self):
+        result = execute_spec(CheckSpec.requirement("R01"))
+        assert result.verdict == "PASS"
+        assert result.check_id == "R01"
+
+    def test_profile_attached_when_requested(self):
+        result = execute_spec(mixed_specs()[0], profile=True)
+        assert result.profile is not None
+        assert result.profile["total_ms"] >= 0.0
+        assert execute_spec(mixed_specs()[0]).profile is None
+
+
+class TestRunBatchInline:
+    def test_inline_matches_sequential_reference(self):
+        specs = mixed_specs()
+        report = run_batch(specs, inline=True)
+        reference = [
+            execute_spec(spec, i).canonical_line() for i, spec in enumerate(specs)
+        ]
+        assert canonical(report) == reference
+        assert not report.ok
+        assert report.counts() == {"PASS": 4, "FAIL": 4}
+
+    def test_empty_batch(self):
+        report = run_batch([], inline=True)
+        assert report.results == []
+        assert report.ok
+        assert "0 jobs" in report.summary()
+
+
+class TestRunBatchPooled:
+    def test_pooled_results_are_byte_identical_to_inline(self):
+        specs = mixed_specs()
+        inline = run_batch(specs, inline=True)
+        pooled = run_batch(specs, jobs=2, timeout=120)
+        assert canonical(pooled) == canonical(inline)
+
+    def test_results_come_back_in_input_order(self):
+        # unequal job durations force out-of-order completion
+        specs = [
+            CheckSpec.selftest("sleep:0.3", check_id="slow"),
+            CheckSpec.selftest("pass", check_id="fast-1"),
+            CheckSpec.selftest("sleep:0.1", check_id="medium"),
+            CheckSpec.selftest("pass", check_id="fast-2"),
+        ]
+        report = run_batch(specs, jobs=4, timeout=30)
+        assert [r.check_id for r in report.results] == [
+            "slow",
+            "fast-1",
+            "medium",
+            "fast-2",
+        ]
+        assert all(r.verdict == "PASS" for r in report.results)
+
+    def test_workers_really_are_separate_processes(self):
+        import os
+
+        specs = [CheckSpec.selftest("sleep:0.05", check_id=str(i)) for i in range(2)]
+        report = run_batch(specs, jobs=2, timeout=30)
+        pids = {r.worker_pid for r in report.results}
+        assert os.getpid() not in pids
+        assert len(pids) == 2
+
+    def test_profiles_merge_across_workers(self):
+        specs = mixed_specs()[:3]
+        report = run_batch(specs, jobs=2, timeout=120, profile=True)
+        assert report.profile is not None
+        assert report.profile.total_ms > 0.0
+        # merged total is aggregate compute, bounded below by any member
+        member_totals = [
+            r.profile["total_ms"] for r in report.results if r.profile
+        ]
+        assert len(member_totals) == 3
+        assert report.profile.total_ms == pytest.approx(sum(member_totals))
+
+
+class TestVerifyRequirementsFacade:
+    def test_all_requirements_pass_inline(self):
+        report = api.verify_requirements()
+        assert report.ok
+        assert [r.check_id for r in report.results] == [
+            "R01",
+            "R02",
+            "R03",
+            "R04",
+            "R05",
+        ]
+
+    def test_subset_and_parallel(self, tmp_path):
+        report = api.verify_requirements(
+            ["R02", "R01"], jobs=2, cache_dir=str(tmp_path)
+        )
+        assert report.ok
+        assert [r.check_id for r in report.results] == ["R02", "R01"]
+
+    def test_matches_requirement_specs_helper(self):
+        assert [s.check_id for s in requirement_specs(["R04"])] == ["R04"]

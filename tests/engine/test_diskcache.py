@@ -1,0 +1,225 @@
+"""The on-disk compilation cache: round-trips, corruption, layering."""
+
+import json
+import os
+
+import pytest
+
+from repro.csp.events import AlphabetTable, Event
+from repro.csp.lts import StateSpaceLimitExceeded, compile_lts
+from repro.csp.process import Environment, Prefix, ProcessRef, Stop
+from repro.engine import (
+    CompilationCache,
+    DISKCACHE_FORMAT_VERSION,
+    DiskCache,
+    VerificationPipeline,
+    key_digest,
+    structural_key,
+)
+
+A, B, C = Event("a"), Event("b"), Event("c")
+
+
+def looping_process():
+    return Prefix(A, Prefix(B, ProcessRef("LOOP")))
+
+
+def looping_env():
+    env = Environment()
+    env.bind("LOOP", looping_process())
+    return env
+
+
+def compiled():
+    env = looping_env()
+    process = ProcessRef("LOOP")
+    table = AlphabetTable()
+    return structural_key(process, env), compile_lts(process, env, table=table)
+
+
+class TestRoundTrip:
+    def test_put_then_get_reproduces_the_automaton(self, tmp_path):
+        key, lts = compiled()
+        disk = DiskCache(str(tmp_path))
+        assert disk.put_lts(key, lts)
+        table = AlphabetTable()
+        loaded = disk.get_lts(key, table=table)
+        assert loaded is not None
+        assert loaded.state_count == lts.state_count
+        assert loaded.transition_count == lts.transition_count
+        assert loaded.initial == lts.initial
+        # identical per-state successors, compared on event *names* (ids
+        # are table-local); order must match exactly for deterministic BFS
+        for state in range(lts.state_count):
+            original = [
+                (str(lts.table.event_of(eid)), target)
+                for eid, target in lts.successors_ids(state)
+            ]
+            reread = [
+                (str(loaded.table.event_of(eid)), target)
+                for eid, target in loaded.successors_ids(state)
+            ]
+            assert original == reread
+
+    def test_tuple_valued_fields_round_trip(self, tmp_path):
+        event = Event("req", (("nested", 1), "flat"))
+        process = Prefix(event, Stop())
+        env = Environment()
+        key = structural_key(process, env)
+        lts = compile_lts(process, env)
+        disk = DiskCache(str(tmp_path))
+        disk.put_lts(key, lts)
+        loaded = disk.get_lts(key)
+        (eid, _target), = loaded.successors_ids(loaded.initial)
+        assert loaded.table.event_of(eid) == event
+
+    def test_miss_on_absent_key(self, tmp_path):
+        disk = DiskCache(str(tmp_path))
+        key, _lts = compiled()
+        assert disk.get_lts(key) is None
+        assert disk.stats()["disk_misses"] == 1
+
+    def test_distinct_pass_configs_get_distinct_entries(self, tmp_path):
+        key, lts = compiled()
+        disk = DiskCache(str(tmp_path))
+        disk.put_lts(key, lts, passes=("sbisim",))
+        assert disk.get_lts(key) is None
+        assert disk.get_lts(key, passes=("sbisim",)) is not None
+        assert key_digest(key) != key_digest(key, ("sbisim",))
+
+
+class TestCorruptionTolerance:
+    def test_garbage_file_is_a_miss_and_quarantined(self, tmp_path):
+        key, lts = compiled()
+        disk = DiskCache(str(tmp_path))
+        disk.put_lts(key, lts)
+        path = disk.path_of(key)
+        with open(path, "w") as handle:
+            handle.write("{not json at all")
+        assert disk.get_lts(key) is None
+        assert disk.stats()["disk_corrupt"] == 1
+        assert not os.path.exists(path)
+        # the store recovers: a fresh write serves reads again
+        disk.put_lts(key, lts)
+        assert disk.get_lts(key) is not None
+
+    def test_truncated_entry_is_a_miss(self, tmp_path):
+        key, lts = compiled()
+        disk = DiskCache(str(tmp_path))
+        disk.put_lts(key, lts)
+        path = disk.path_of(key)
+        with open(path) as handle:
+            text = handle.read()
+        with open(path, "w") as handle:
+            handle.write(text[: len(text) // 2])
+        assert disk.get_lts(key) is None
+        assert disk.stats()["disk_corrupt"] == 1
+
+    def test_version_skew_is_a_miss(self, tmp_path):
+        key, lts = compiled()
+        disk = DiskCache(str(tmp_path))
+        disk.put_lts(key, lts)
+        path = disk.path_of(key)
+        with open(path) as handle:
+            doc = json.load(handle)
+        doc["format"] = DISKCACHE_FORMAT_VERSION + 1
+        with open(path, "w") as handle:
+            json.dump(doc, handle)
+        assert disk.get_lts(key) is None
+        assert disk.stats()["disk_corrupt"] == 1
+
+    def test_stored_key_mismatch_is_a_miss(self, tmp_path):
+        # simulate a digest collision: entry bytes present under the right
+        # path but recording a different structural key
+        key, lts = compiled()
+        other = structural_key(Prefix(C, Stop()), Environment())
+        disk = DiskCache(str(tmp_path))
+        disk.put_lts(other, lts)
+        os.replace(disk.path_of(other), disk.path_of(key))
+        assert disk.get_lts(key) is None
+
+    def test_structural_garbage_is_a_miss(self, tmp_path):
+        key, lts = compiled()
+        disk = DiskCache(str(tmp_path))
+        disk.put_lts(key, lts)
+        path = disk.path_of(key)
+        with open(path) as handle:
+            doc = json.load(handle)
+        doc["transitions"] = [[["nonsense"]]]
+        with open(path, "w") as handle:
+            json.dump(doc, handle)
+        assert disk.get_lts(key) is None
+
+
+class TestHousekeeping:
+    def test_clear_and_len(self, tmp_path):
+        key, lts = compiled()
+        disk = DiskCache(str(tmp_path))
+        disk.put_lts(key, lts)
+        assert len(disk) == 1
+        disk.clear()
+        assert len(disk) == 0
+
+    def test_stats_shape(self, tmp_path):
+        disk = DiskCache(str(tmp_path))
+        stats = disk.stats()
+        assert set(stats) == {
+            "disk_entries",
+            "disk_hits",
+            "disk_misses",
+            "disk_corrupt",
+            "disk_writes",
+        }
+
+
+class TestCompilationCacheLayering:
+    def test_memory_miss_promotes_from_disk(self, tmp_path):
+        key, lts = compiled()
+        writer = CompilationCache(disk=DiskCache(str(tmp_path)))
+        writer.put_lts(key, lts)
+        reader = CompilationCache(disk=DiskCache(str(tmp_path)))
+        table = AlphabetTable()
+        hit = reader.get_lts(key, 10_000, table=table)
+        assert hit is not None
+        assert reader.disk_hits == 1
+        # promoted: the second lookup is served from memory
+        assert reader.get_lts(key, 10_000, table=table) is hit
+        assert reader.disk_hits == 1
+
+    def test_budget_applies_to_disk_hits(self, tmp_path):
+        key, lts = compiled()
+        writer = CompilationCache(disk=DiskCache(str(tmp_path)))
+        writer.put_lts(key, lts)
+        reader = CompilationCache(disk=DiskCache(str(tmp_path)))
+        with pytest.raises(StateSpaceLimitExceeded):
+            reader.get_lts(key, lts.state_count - 1, table=AlphabetTable())
+
+    def test_stats_include_the_disk_layer(self, tmp_path):
+        cache = CompilationCache(disk=DiskCache(str(tmp_path)))
+        stats = cache.stats()
+        assert "disk_promotions" in stats
+        assert "disk_entries" in stats
+        assert "disk_promotions" not in CompilationCache().stats()
+
+
+class TestPipelineIntegration:
+    def test_warm_pipeline_reproduces_cold_verdict(self, tmp_path):
+        env = looping_env()
+        spec = ProcessRef("LOOP")
+        impl = Prefix(A, Prefix(C, Stop()))
+
+        def run():
+            cache = CompilationCache(disk=DiskCache(str(tmp_path)))
+            pipeline = VerificationPipeline(looping_env(), cache=cache)
+            return pipeline.refinement(spec, impl, "T"), cache
+
+        cold, cold_cache = run()
+        assert cold_cache.disk_hits == 0
+        warm, warm_cache = run()
+        assert warm_cache.disk_hits > 0
+        assert cold.passed == warm.passed
+        assert [str(e) for e in cold.counterexample.trace] == [
+            str(e) for e in warm.counterexample.trace
+        ]
+        assert cold.states_explored == warm.states_explored
+        assert cold.counterexample.describe() == warm.counterexample.describe()

@@ -88,6 +88,16 @@ class TestSession:
 
 
 class TestConvenienceWrappers:
+    # The wrappers are deprecated in favour of repro.api; pyproject's
+    # filterwarnings turns every *other* warning into an error, with one
+    # ignore entry scoped to exactly these six wrapper messages -- so the
+    # suite still fails fast on any new warning anywhere in the stack.
+    def test_wrappers_warn_deprecation(self):
+        with pytest.warns(DeprecationWarning, match="trace_refinement is deprecated"):
+            trace_refinement(Prefix(A, STOP), STOP)
+        with pytest.warns(DeprecationWarning, match="deadlock_free is deprecated"):
+            deadlock_free(Prefix(A, ref("P")), Environment().bind("P", STOP))
+
     def test_trace_refinement(self):
         assert trace_refinement(Prefix(A, STOP), STOP).passed
 

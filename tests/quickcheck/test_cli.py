@@ -55,7 +55,8 @@ def test_replay_of_single_file_exits_0(tmp_path, capsys):
 
 def test_replay_flags_a_file_naming_an_unknown_oracle(tmp_path, capsys):
     path = write_case(str(tmp_path), "semantics", 0, seed=3)
-    doc = json.loads(open(path).read())
+    with open(path) as handle:
+        doc = json.load(handle)
     doc["oracle"] = "retired-oracle"
     with open(path, "w") as handle:
         json.dump(doc, handle)

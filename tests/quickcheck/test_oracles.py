@@ -23,6 +23,7 @@ EXPECTED_ORACLES = {
     "lazy-eager",
     "cache",
     "compression",
+    "batch",
     "roundtrip",
     "extractor",
 }
