@@ -2,8 +2,14 @@
 
 Every benchmark regenerates one table or figure of the paper (see DESIGN.md
 section 4) and, besides timing the underlying operation with
-pytest-benchmark, writes the regenerated artefact to ``benchmarks/out/`` so
-the reproduction can be inspected and diffed against the paper.
+pytest-benchmark, writes the regenerated artefact out so the reproduction
+can be inspected and diffed against the paper.
+
+Machine-readable ``BENCH_*.json`` files are canonical at the repository
+root -- that is where CI gates and cross-PR trend tooling read them -- and
+every write is mirrored into ``benchmarks/out/`` so a bench run still
+leaves a complete artefact directory.  Text tables stay in
+``benchmarks/out/`` only.
 """
 
 import json
@@ -11,7 +17,31 @@ import pathlib
 
 import pytest
 
+ROOT_DIR = pathlib.Path(__file__).parent.parent
 OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def bench_json_path(name):
+    """The canonical (repo root) path of one BENCH_*.json file."""
+    return ROOT_DIR / "{}.json".format(name)
+
+
+def write_bench_json(name, payload):
+    """Write one BENCH_*.json: canonical at the repo root, mirror in out/."""
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    bench_json_path(name).write_text(text, encoding="utf-8")
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / "{}.json".format(name)).write_text(text, encoding="utf-8")
+
+
+def merge_bench_json(name, section, payload):
+    """Fold one section into a BENCH_*.json shared by several benches."""
+    canonical = bench_json_path(name)
+    data = {}
+    if canonical.exists():
+        data = json.loads(canonical.read_text(encoding="utf-8"))
+    data[section] = payload
+    write_bench_json(name, data)
 
 
 def merge_bench_profile(section, payload):
@@ -21,15 +51,7 @@ def merge_bench_profile(section, payload):
     which re-emit their traced runs here so the perf trajectory stays
     attributable per pipeline stage across PRs.
     """
-    path = OUT_DIR / "BENCH_profile.json"
-    OUT_DIR.mkdir(exist_ok=True)
-    data = {}
-    if path.exists():
-        data = json.loads(path.read_text(encoding="utf-8"))
-    data[section] = payload
-    path.write_text(
-        json.dumps(data, indent=2, sort_keys=True) + "\n", encoding="utf-8"
-    )
+    merge_bench_json("BENCH_profile", section, payload)
 
 
 @pytest.fixture
@@ -48,12 +70,10 @@ def artifact():
 
 @pytest.fixture
 def json_artifact():
-    """Write machine-readable benchmark data to benchmarks/out/<name>.json."""
+    """Write machine-readable benchmark data (canonical at the repo root)."""
 
     def write(name: str, payload) -> None:
-        OUT_DIR.mkdir(exist_ok=True)
-        path = OUT_DIR / "{}.json".format(name)
-        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+        write_bench_json(name, payload)
         print("\n--- {}.json written ---".format(name))
 
     return write

@@ -11,10 +11,10 @@ individually and composing models.
 All sweeps run through :class:`repro.engine.VerificationPipeline`, so the
 timings reflect the production path (interned alphabets + on-the-fly
 refinement).  Besides the text tables, the sweeps accumulate into
-``benchmarks/out/BENCH_scalability.json`` for machine consumption.
+``BENCH_scalability.json`` at the repo root (mirrored in
+``benchmarks/out/``) for machine consumption.
 """
 
-import json
 import time
 
 from repro.csp import Channel, Environment, Prefix, ref
@@ -23,18 +23,12 @@ from repro.fdr import check_trace_refinement_from
 from repro.obs import Tracer
 from repro.security.properties import run_process
 
-from conftest import OUT_DIR, merge_bench_profile
+from conftest import merge_bench_json, merge_bench_profile
 
 
 def _merge_bench_json(section, rows):
     """Fold one sweep's rows into BENCH_scalability.json (shared by 3 tests)."""
-    path = OUT_DIR / "BENCH_scalability.json"
-    OUT_DIR.mkdir(exist_ok=True)
-    data = {}
-    if path.exists():
-        data = json.loads(path.read_text(encoding="utf-8"))
-    data[section] = rows
-    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    merge_bench_json("BENCH_scalability", section, rows)
 
 
 def build_component(env, channel, index):

@@ -7,6 +7,13 @@ states.  The compiler deduplicates structurally equal process terms, so
 recursive definitions close back on themselves and the LTS is finite whenever
 the process is finite-state.
 
+The in-memory representation is the flat-array kernel of
+:mod:`repro.csp.kernel`: :data:`LTS` *is* :class:`~repro.csp.kernel.
+CompactLTS`, a CSR successor table over ``array('q')``.  The compiler below
+builds the arrays directly -- BFS expands states in id order, so each
+state's edge range lands contiguously and the offsets array falls out of the
+walk for free.
+
 Transition labels are stored as dense integer ids drawn from an
 :class:`~repro.csp.events.AlphabetTable` (tau is id 0, tick id 1), so the
 normaliser and refinement checker work on ints; the public ``successors`` /
@@ -17,14 +24,18 @@ several automata one id space -- the verification pipeline does exactly that.
 
 from __future__ import annotations
 
+from array import array
 from collections import deque
-from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
-from .events import AlphabetTable, Event, TAU, TAU_ID, TICK, TICK_ID
+from .events import AlphabetTable, TAU_ID, TICK_ID, Event
+from .kernel import CompactLTS, StateId
 from .process import Environment, Process
 from .semantics import transitions as sos_transitions
 
-StateId = int
+#: The one in-memory automaton form.  The name ``LTS`` is kept for the
+#: whole stack (and for history); the representation is the flat kernel.
+LTS = CompactLTS
 
 
 class StateSpaceLimitExceeded(RuntimeError):
@@ -36,138 +47,6 @@ class StateSpaceLimitExceeded(RuntimeError):
             "infinite-state or the limit too small".format(limit)
         )
         self.limit = limit
-
-
-class LTS:
-    """A finite labelled transition system with a single initial state."""
-
-    def __init__(self, table: Optional[AlphabetTable] = None) -> None:
-        self.initial: StateId = 0
-        self.table: AlphabetTable = table if table is not None else AlphabetTable()
-        self._succ: List[List[Tuple[int, StateId]]] = []
-        #: optional mapping back to the process term each state came from
-        self.terms: List[Optional[Process]] = []
-
-    # -- construction --------------------------------------------------------
-
-    def add_state(self, term: Optional[Process] = None) -> StateId:
-        self._succ.append([])
-        self.terms.append(term)
-        return len(self._succ) - 1
-
-    def add_transition(self, source: StateId, event: Event, target: StateId) -> None:
-        self._succ[source].append((self.table.intern(event), target))
-
-    def add_transition_id(self, source: StateId, eid: int, target: StateId) -> None:
-        self._succ[source].append((eid, target))
-
-    # -- queries ---------------------------------------------------------------
-
-    @property
-    def state_count(self) -> int:
-        return len(self._succ)
-
-    @property
-    def transition_count(self) -> int:
-        return sum(len(edges) for edges in self._succ)
-
-    def successors(self, state: StateId) -> List[Tuple[Event, StateId]]:
-        event_of = self.table.event_of
-        return [(event_of(eid), t) for eid, t in self._succ[state]]
-
-    def successors_ids(self, state: StateId) -> List[Tuple[int, StateId]]:
-        """The raw interned transitions -- the engine's hot-path view."""
-        return self._succ[state]
-
-    def visible_successors(self, state: StateId) -> List[Tuple[Event, StateId]]:
-        """Transitions on events other than tau (tick included: it is observable)."""
-        event_of = self.table.event_of
-        return [
-            (event_of(eid), t) for eid, t in self._succ[state] if eid != TAU_ID
-        ]
-
-    def tau_successors(self, state: StateId) -> List[StateId]:
-        return [t for eid, t in self._succ[state] if eid == TAU_ID]
-
-    def initials(self, state: StateId) -> FrozenSet[Event]:
-        event_of = self.table.event_of
-        return frozenset(event_of(eid) for eid, _ in self._succ[state])
-
-    def is_stable(self, state: StateId) -> bool:
-        """A state is stable if it has no outgoing tau."""
-        return not any(eid == TAU_ID for eid, _ in self._succ[state])
-
-    def is_deadlocked(self, state: StateId) -> bool:
-        """No transitions at all and not a post-termination state."""
-        return not self._succ[state]
-
-    def tau_closure(self, states: FrozenSet[StateId]) -> FrozenSet[StateId]:
-        """All states reachable from *states* by zero or more tau steps."""
-        seen: Set[StateId] = set(states)
-        work = deque(states)
-        while work:
-            state = work.popleft()
-            for eid, target in self._succ[state]:
-                if eid == TAU_ID and target not in seen:
-                    seen.add(target)
-                    work.append(target)
-        return frozenset(seen)
-
-    def alphabet(self) -> FrozenSet[Event]:
-        """Every visible event appearing on some transition."""
-        ids: Set[int] = set()
-        for edges in self._succ:
-            for eid, _ in edges:
-                ids.add(eid)
-        ids.discard(TAU_ID)
-        ids.discard(TICK_ID)
-        event_of = self.table.event_of
-        return frozenset(event_of(eid) for eid in ids)
-
-    def events_after(self, states: FrozenSet[StateId]) -> FrozenSet[Event]:
-        """Visible/tick events available from any of the given states."""
-        ids: Set[int] = set()
-        for state in states:
-            for eid, _ in self._succ[state]:
-                if eid != TAU_ID:
-                    ids.add(eid)
-        event_of = self.table.event_of
-        return frozenset(event_of(eid) for eid in ids)
-
-    def walk(self, trace: List[Event]) -> Optional[FrozenSet[StateId]]:
-        """The set of states reachable by *trace* (with taus), or None if impossible."""
-        current = self.tau_closure(frozenset([self.initial]))
-        for event in trace:
-            eid = self.table.id_of(event)
-            if eid is None:
-                return None
-            step: Set[StateId] = set()
-            for state in current:
-                for edge_id, target in self._succ[state]:
-                    if edge_id == eid:
-                        step.add(target)
-            if not step:
-                return None
-            current = self.tau_closure(frozenset(step))
-        return current
-
-    def iter_states(self) -> Iterator[StateId]:
-        return iter(range(len(self._succ)))
-
-    def to_dot(self, name: str = "lts") -> str:
-        """Render the LTS in Graphviz dot format (FDR-style visualisation)."""
-        lines = ["digraph {} {{".format(name), "  rankdir=LR;"]
-        lines.append('  init [shape=point, label=""];')
-        lines.append("  init -> s{};".format(self.initial))
-        for state in self.iter_states():
-            shape = "doublecircle" if self.is_deadlocked(state) else "circle"
-            lines.append('  s{} [shape={}, label="{}"];'.format(state, shape, state))
-        for state in self.iter_states():
-            for event, target in self.successors(state):
-                label = str(event)
-                lines.append('  s{} -> s{} [label="{}"];'.format(state, target, label))
-        lines.append("}")
-        return "\n".join(lines)
 
 
 DEFAULT_STATE_LIMIT = 200_000
@@ -185,11 +64,20 @@ def compile_lts(
     definitions back into cycles.  Raises :class:`StateSpaceLimitExceeded` if
     more than *max_states* distinct terms are reached.  A shared *table* puts
     the result in an existing id space (one table per pipeline).
+
+    States are numbered in BFS discovery order and each state is expanded
+    exactly once, in id order -- so the kernel's CSR arrays are appended to
+    directly, one contiguous edge range per state.
     """
     env = env or Environment()
-    lts = LTS(table)
-    intern = lts.table.intern
+    table = table if table is not None else AlphabetTable()
+    intern = table.intern
     index: Dict[Process, StateId] = {}
+    terms: List[Process] = []
+
+    offsets = array("q", [0])
+    events = array("q")
+    targets = array("q")
 
     def state_of(term: Process) -> StateId:
         existing = index.get(term)
@@ -197,26 +85,26 @@ def compile_lts(
             return existing
         if len(index) >= max_states:
             raise StateSpaceLimitExceeded(max_states)
-        state = lts.add_state(term)
+        state = len(terms)
         index[term] = state
+        terms.append(term)
         return state
 
-    root = state_of(process)
-    lts.initial = root
+    state_of(process)
     work: deque = deque([process])
-    expanded: Set[StateId] = set()
     while work:
         term = work.popleft()
-        source = index[term]
-        if source in expanded:
-            continue
-        expanded.add(source)
         for event, successor in sos_transitions(term, env):
             known = successor in index
             target = state_of(successor)
-            lts.add_transition_id(source, intern(event), target)
+            events.append(intern(event))
+            targets.append(target)
             if not known:
                 work.append(successor)
+        offsets.append(len(events))
+
+    lts = CompactLTS.from_csr(table, 0, offsets, events, targets)
+    lts.terms = terms
     return lts
 
 
@@ -231,10 +119,10 @@ def reachable_visible_traces(
     """
     results: Set[Tuple[Event, ...]] = {()}
     start = lts.tau_closure(frozenset([lts.initial]))
-    frontier: List[Tuple[Tuple[Event, ...], FrozenSet[StateId]]] = [((), start)]
+    frontier: List[Tuple[Tuple[Event, ...], frozenset]] = [((), start)]
     event_of = lts.table.event_of
     for _ in range(max_length):
-        next_frontier: List[Tuple[Tuple[Event, ...], FrozenSet[StateId]]] = []
+        next_frontier: List[Tuple[Tuple[Event, ...], frozenset]] = []
         for trace, states in frontier:
             by_event: Dict[int, Set[StateId]] = {}
             for state in states:

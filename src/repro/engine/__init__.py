@@ -32,6 +32,7 @@ from .plan import (
     PreparedTerm,
     component_provenance,
 )
+from .product import ProductLTS
 
 __all__ = [
     "AlphabetTable",
@@ -44,6 +45,7 @@ __all__ = [
     "DISKCACHE_FORMAT_VERSION",
     "DiskCache",
     "PreparedTerm",
+    "ProductLTS",
     "VerificationPipeline",
     "component_provenance",
     "key_digest",

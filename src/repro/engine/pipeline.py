@@ -53,6 +53,7 @@ class VerificationPipeline:
         max_states: int = DEFAULT_STATE_LIMIT,
         on_the_fly: bool = True,
         passes: PassSpec = "default",
+        por: bool = False,
         obs: Optional[Tracer] = None,
     ) -> None:
         self.env = env if env is not None else Environment()
@@ -60,6 +61,10 @@ class VerificationPipeline:
         self.cache = cache if cache is not None else CompilationCache()
         self.max_states = max_states
         self.on_the_fly = on_the_fly
+        #: partial-order reduction over independent interleaved components;
+        #: only sound for stuttering-invariant properties, so it is applied
+        #: solely to trace checks, and only when explicitly requested
+        self.por = por
         self.passes = resolve_passes(passes)
         self.plan = CompilationPlan(self, self.passes)
         self.checks_run = 0
@@ -155,11 +160,21 @@ class VerificationPipeline:
                     result = check_fd_refinement(spec_lts, impl_lts, label, obs)
             else:
                 normalised_spec = self.normalised(prepared_spec.term, max_states)
-                implementation = (
-                    self.lazy(prepared_impl.term, max_states)
-                    if self.on_the_fly
-                    else self.compile(prepared_impl.term, max_states)
-                )
+                limit = self.max_states if max_states is None else max_states
+                if self.on_the_fly:
+                    # prefer the kernel-level product view over compiled
+                    # components; terms it cannot synthesise (no compiled
+                    # leaves, degraded components) fall back to the generic
+                    # term-level lazy expansion
+                    implementation = self.plan.product_view(
+                        prepared_impl,
+                        limit,
+                        por=self.por and model == "T",
+                    )
+                    if implementation is None:
+                        implementation = self.lazy(prepared_impl.term, max_states)
+                else:
+                    implementation = self.compile(prepared_impl.term, max_states)
                 with obs.span("refine", model=model):
                     if model == "T":
                         result = check_trace_refinement_from(

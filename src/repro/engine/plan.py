@@ -57,6 +57,7 @@ from ..passes.base import (
     passes_for_model,
 )
 from .cache import structural_key
+from .product import ProductLTS
 
 #: the operators the plan decomposes through -- the composition spine
 _COMPOSITION = (GenParallel, Interleave, Hiding, Renaming)
@@ -231,6 +232,28 @@ class CompilationPlan:
             term, passes, frozenset(), max_states, stats, components
         )
         return PreparedTerm(rebuilt, tuple(stats), tuple(components))
+
+    def product_view(
+        self,
+        prepared: PreparedTerm,
+        max_states: int,
+        por: bool = False,
+    ) -> Optional[ProductLTS]:
+        """An on-the-fly product over the prepared term's compiled leaves.
+
+        Returns None when the term does not qualify (no compiled
+        components, a degraded SOS leaf, or no composition spine); the
+        caller then uses the generic term-level lazy expansion, which
+        handles every term shape.
+        """
+        if not prepared.compressed:
+            return None
+        view = ProductLTS.for_term(
+            prepared.term, self.pipeline.table, max_states, por=por
+        )
+        if view is not None and self.pipeline.obs.enabled:
+            self.pipeline.obs.metrics.counter("plan.product_views").inc()
+        return view
 
     # -- decomposition -------------------------------------------------------
 

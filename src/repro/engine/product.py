@@ -1,0 +1,449 @@
+"""Lazy on-the-fly composition over compiled component kernels.
+
+The compilation plan rebuilds a composed implementation with
+:class:`~repro.csp.process.CompiledProcess` leaves standing in for its
+compressed components.  The generic on-the-fly path then replays those
+leaves through the term-level SOS -- correct, but every expanded state
+allocates a fresh process term per component move and hashes whole terms
+into the state index.
+
+:class:`ProductLTS` specialises exactly that case.  When the prepared term
+is a pure composition spine (generalised parallel / interleave / hiding /
+renaming) over compiled leaves, a product state is just the tuple of
+component kernel states, and a state's successors can be synthesised
+directly from the components' flat CSR spans -- no term objects, no SOS
+dispatch, tuple hashing instead of term hashing.  The synthesis mirrors the
+SOS rules move for move (left non-sync moves first, then right non-sync,
+then synchronised pairs in left-major order; hiding maps to tau in place;
+renaming relabels ids), so exploration order, verdicts, counterexamples and
+explored-state counts are identical to the term-level path it replaces.
+
+Like :class:`~repro.fdr.refine.LazyImplementation`, expanded edges land in
+two shared flat ``array('q')`` buffers with per-state bounds -- the kernel's
+span protocol -- and states are numbered in discovery order, which coincides
+with the term-level numbering because distinct tuples correspond exactly to
+distinct substituted terms.
+
+Partial-order reduction (optional, off by default): when a component's
+current state has only tau moves, those moves are invisible, cannot
+synchronise, and commute with every move of every other component.
+Expanding *only* that component's taus (an ample set) therefore preserves
+trace verdicts while skipping the interleaving blow-up.  The reduction is
+only sound for stuttering-invariant properties, so the pipeline enables it
+solely for trace checks and only when asked (``por=True``); a cycle proviso
+(the ample set must discover at least one new state) guards against a
+reduced cycle postponing a visible move forever.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from ..csp.events import AlphabetTable, Event, TAU_ID, TICK_ID
+from ..csp.lts import DEFAULT_STATE_LIMIT, StateId, StateSpaceLimitExceeded
+from ..csp.process import (
+    CompiledProcess,
+    GenParallel,
+    Hiding,
+    Interleave,
+    Process,
+    Renaming,
+)
+
+#: one synthesised move: (interned event id, successor leaf-state tuple)
+_Move = Tuple[int, Tuple[StateId, ...]]
+
+
+def _must_sync(eid: int, sync_ids: Optional[FrozenSet[int]]) -> bool:
+    """The SOS synchronisation test on interned ids: tick always, tau never,
+    a visible event iff it is in the (generalised) sync set."""
+    if eid == TICK_ID:
+        return True
+    if eid == TAU_ID:
+        return False
+    return sync_ids is not None and eid in sync_ids
+
+
+class _Leaf:
+    """One compiled component: moves come straight off its kernel spans.
+
+    ``remap`` translates the kernel's event ids into the pipeline table's
+    ids when the component was compiled under a different pipeline (shared
+    compressed cache); None means the kernel already lives in the
+    pipeline's id space.
+    """
+
+    __slots__ = ("position", "lts", "remap")
+
+    def __init__(self, position: int, lts, remap: Optional[Dict[int, int]]) -> None:
+        self.position = position
+        self.lts = lts
+        self.remap = remap
+
+    def moves(self, tup: Tuple[StateId, ...]) -> List[_Move]:
+        events, targets, lo, hi = self.lts.successors_span(tup[self.position])
+        k = self.position
+        prefix, suffix = tup[:k], tup[k + 1 :]
+        remap = self.remap
+        if remap is None:
+            return [
+                (events[i], prefix + (targets[i],) + suffix)
+                for i in range(lo, hi)
+            ]
+        return [
+            (remap[events[i]], prefix + (targets[i],) + suffix)
+            for i in range(lo, hi)
+        ]
+
+
+class _Par:
+    """Generalised parallel (interleave = empty sync set).
+
+    ``split`` is the first leaf position of the right subtree: left-subtree
+    moves change only positions below it, right-subtree moves only positions
+    at or above it, so a synchronised pair merges as
+    ``left_tuple[:split] + right_tuple[split:]``.
+    """
+
+    __slots__ = ("left", "right", "split", "sync_ids")
+
+    def __init__(self, left, right, split: int, sync_ids) -> None:
+        self.left = left
+        self.right = right
+        self.split = split
+        self.sync_ids = sync_ids
+
+    def moves(self, tup: Tuple[StateId, ...]) -> List[_Move]:
+        left_moves = self.left.moves(tup)
+        right_moves = self.right.moves(tup)
+        sync_ids = self.sync_ids
+        result: List[_Move] = []
+        for eid, new in left_moves:
+            if not _must_sync(eid, sync_ids):
+                result.append((eid, new))
+        for eid, new in right_moves:
+            if not _must_sync(eid, sync_ids):
+                result.append((eid, new))
+        split = self.split
+        for leid, lnew in left_moves:
+            if not _must_sync(leid, sync_ids):
+                continue
+            for reid, rnew in right_moves:
+                if reid == leid:
+                    result.append((leid, lnew[:split] + rnew[split:]))
+        return result
+
+
+class _Hide:
+    """Hiding: hidden visible events become tau, order untouched."""
+
+    __slots__ = ("child", "hidden_ids")
+
+    def __init__(self, child, hidden_ids: FrozenSet[int]) -> None:
+        self.child = child
+        self.hidden_ids = hidden_ids
+
+    def moves(self, tup: Tuple[StateId, ...]) -> List[_Move]:
+        hidden = self.hidden_ids
+        return [
+            (TAU_ID, new) if eid > TICK_ID and eid in hidden else (eid, new)
+            for eid, new in self.child.moves(tup)
+        ]
+
+
+class _Rename:
+    """Renaming: relabel visible ids through a precomputed map."""
+
+    __slots__ = ("child", "id_map")
+
+    def __init__(self, child, id_map: Dict[int, int]) -> None:
+        self.child = child
+        self.id_map = id_map
+
+    def moves(self, tup: Tuple[StateId, ...]) -> List[_Move]:
+        id_map = self.id_map
+        return [
+            (id_map.get(eid, eid), new) if eid > TICK_ID else (eid, new)
+            for eid, new in self.child.moves(tup)
+        ]
+
+
+class ProductLTS:
+    """On-the-fly product of compiled component kernels (span protocol).
+
+    Drives :class:`~repro.fdr.refine._ProductSearch` exactly like a
+    :class:`~repro.fdr.refine.LazyImplementation`: ``initial`` /
+    ``successors_span`` / ``is_stable`` / ``table`` / ``term_of``, with
+    states numbered in discovery order and a ``max_states`` budget enforced
+    at discovery time.
+    """
+
+    #: obs metric this implementation reports its expansion count under
+    expansion_metric = "product.states_expanded"
+
+    def __init__(
+        self,
+        template: Process,
+        node,
+        kernels: List,
+        table: AlphabetTable,
+        max_states: int = DEFAULT_STATE_LIMIT,
+        por: bool = False,
+    ) -> None:
+        self.table = table
+        self.max_states = max_states
+        self.por = por
+        self.initial: StateId = 0
+        #: times an ample set replaced a full expansion (POR diagnostics)
+        self.ample_hits = 0
+        self._template = template
+        self._node = node
+        self._kernels = kernels
+        start = _initial_tuple(template)
+        self._tuples: List[Tuple[StateId, ...]] = [start]
+        self._index: Dict[Tuple[StateId, ...], StateId] = {start: 0}
+        self._events: array = array("q")
+        self._targets: array = array("q")
+        self._bounds: List[Optional[Tuple[int, int]]] = [None]
+
+    @classmethod
+    def for_term(
+        cls,
+        term: Process,
+        table: AlphabetTable,
+        max_states: int = DEFAULT_STATE_LIMIT,
+        por: bool = False,
+    ) -> Optional["ProductLTS"]:
+        """A product view of *term*, or None when it does not qualify.
+
+        Qualifying terms are composition spines (parallel / interleave /
+        hiding / renaming) whose leaves are all ``CompiledProcess`` handles
+        -- exactly what the compilation plan emits when every component
+        compiled.  A degraded leaf (a raw SOS term) or a bare compiled
+        process (no composition to synthesise) returns None and the caller
+        falls back to the term-level path.
+        """
+        if not isinstance(term, (GenParallel, Interleave, Hiding, Renaming)):
+            return None
+        kernels: List = []
+        node = _build(term, kernels, table)
+        if node is None:
+            return None
+        return cls(term, node, kernels, table, max_states, por)
+
+    # -- the automaton protocol ----------------------------------------------
+
+    @property
+    def state_count(self) -> int:
+        """States discovered so far (grows as the search explores)."""
+        return len(self._tuples)
+
+    def component_states(self, state: StateId) -> Tuple[StateId, ...]:
+        """The component kernel states behind one product state."""
+        return self._tuples[state]
+
+    def term_of(self, state: StateId) -> Process:
+        """The substituted spine term this product state corresponds to.
+
+        Byte-compatible with the term the SOS path would have evolved:
+        the spine operators are rebuilt unchanged around fresh
+        ``CompiledProcess`` leaves at the tuple's states, which is exactly
+        what the parallel/hiding/renaming rules produce.
+        """
+        tup = self._tuples[state]
+        position = [0]
+
+        def subst(term: Process) -> Process:
+            if isinstance(term, CompiledProcess):
+                k = position[0]
+                position[0] += 1
+                if term.state == tup[k]:
+                    return term
+                return CompiledProcess(term.automaton, tup[k])
+            if isinstance(term, GenParallel):
+                return GenParallel(subst(term.left), subst(term.right), term.sync)
+            if isinstance(term, Interleave):
+                return Interleave(subst(term.left), subst(term.right))
+            if isinstance(term, Hiding):
+                return Hiding(subst(term.process), term.hidden)
+            return Renaming(subst(term.process), dict(term.mapping))
+
+        return subst(self._template)
+
+    def successors_span(self, state: StateId) -> Tuple[array, array, int, int]:
+        """The state's edge range in the shared flat arrays (expands once)."""
+        bounds = self._bounds[state]
+        if bounds is None:
+            bounds = self._expand(state)
+        return self._events, self._targets, bounds[0], bounds[1]
+
+    def _expand(self, state: StateId) -> Tuple[int, int]:
+        tup = self._tuples[state]
+        moves = self._ample(tup) if self.por else None
+        if moves is None:
+            moves = self._node.moves(tup)
+        index = self._index
+        tuples = self._tuples
+        events, targets = self._events, self._targets
+        start = len(events)
+        for eid, new_tup in moves:
+            target = index.get(new_tup)
+            if target is None:
+                if len(tuples) >= self.max_states:
+                    raise StateSpaceLimitExceeded(self.max_states)
+                target = len(tuples)
+                index[new_tup] = target
+                tuples.append(new_tup)
+                self._bounds.append(None)
+            events.append(eid)
+            targets.append(target)
+        bounds = (start, len(events))
+        self._bounds[state] = bounds
+        return bounds
+
+    def _ample(self, tup: Tuple[StateId, ...]) -> Optional[List[_Move]]:
+        """An ample subset of the state's moves, or None for full expansion.
+
+        A component whose current state offers *only* raw kernel taus is an
+        ample candidate: its moves are invisible at every level (hiding and
+        renaming leave tau alone), can never synchronise, and touch no other
+        component -- so they commute with every concurrent move.  The first
+        candidate whose taus discover at least one new product state (the
+        cycle proviso) is expanded alone.
+        """
+        for k, kernel in enumerate(self._kernels):
+            events, targets, lo, hi = kernel.successors_span(tup[k])
+            if lo == hi:
+                continue
+            if any(events[i] != TAU_ID for i in range(lo, hi)):
+                continue
+            prefix, suffix = tup[:k], tup[k + 1 :]
+            ample = [
+                (TAU_ID, prefix + (targets[i],) + suffix)
+                for i in range(lo, hi)
+            ]
+            if any(new not in self._index for _, new in ample):
+                self.ample_hits += 1
+                return ample
+        return None
+
+    # -- convenience views (tests, diagnostics) ------------------------------
+
+    def successors_ids(self, state: StateId) -> List[Tuple[int, StateId]]:
+        events, targets, start, end = self.successors_span(state)
+        return [(events[i], targets[i]) for i in range(start, end)]
+
+    def successors(self, state: StateId) -> List[Tuple[Event, StateId]]:
+        event_of = self.table.event_of
+        return [(event_of(eid), t) for eid, t in self.successors_ids(state)]
+
+    def is_stable(self, state: StateId) -> bool:
+        events, _targets, start, end = self.successors_span(state)
+        for i in range(start, end):
+            if events[i] == TAU_ID:
+                return False
+        return True
+
+    def __repr__(self) -> str:
+        return "ProductLTS({} components, {} states discovered)".format(
+            len(self._kernels), len(self._tuples)
+        )
+
+
+def _initial_tuple(term: Process) -> Tuple[StateId, ...]:
+    """The compiled-leaf states of the template, in leaf order."""
+    order: List[StateId] = []
+
+    def walk(current: Process) -> None:
+        if isinstance(current, CompiledProcess):
+            order.append(current.state)
+        elif isinstance(current, (GenParallel, Interleave)):
+            walk(current.left)
+            walk(current.right)
+        else:
+            walk(current.process)
+
+    walk(term)
+    return tuple(order)
+
+
+def _translation(lts, table: AlphabetTable) -> Dict[int, int]:
+    """Foreign kernel event ids -> pipeline table ids.
+
+    Tau and tick occupy the same reserved slots in every table; each
+    visible event the kernel uses is decoded through its own table and
+    interned into the pipeline's.  Ids are visited in ascending (foreign
+    interning) order so the pipeline-side interning is deterministic.
+    """
+    _offsets, events, _targets = lts.csr_arrays()
+    event_of = lts.table.event_of
+    intern = table.intern
+    remap = {TAU_ID: TAU_ID, TICK_ID: TICK_ID}
+    for eid in sorted(set(events)):
+        if eid > TICK_ID:
+            remap[eid] = intern(event_of(eid))
+    return remap
+
+
+def _build(term: Process, kernels: List, table: AlphabetTable):
+    """Compile the spine into move-synthesis nodes (bottom-up, or None).
+
+    Interning happens bottom-up: every event a child can produce is either
+    on a component kernel (interned when the component compiled) or a
+    renaming target (interned here when the ``_Rename`` node is built), so
+    resolving hiding/sync sets with ``id_of`` above it is complete -- an
+    event with no id cannot be produced and is safely ignored.
+    """
+    if isinstance(term, CompiledProcess):
+        lts = getattr(term.automaton, "lts", None)
+        if lts is None or not hasattr(lts, "successors_span"):
+            return None
+        remap: Optional[Dict[int, int]] = None
+        if lts.table is not table:
+            # a component compiled under another pipeline (shared compressed
+            # cache) lives in a foreign id space; translate every edge label
+            # it can produce into the pipeline's ids, which is exactly the
+            # decode-and-reintern the SOS replay performs per move
+            remap = _translation(lts, table)
+        kernels.append(lts)
+        return _Leaf(len(kernels) - 1, lts, remap)
+    if isinstance(term, (GenParallel, Interleave)):
+        left = _build(term.left, kernels, table)
+        if left is None:
+            return None
+        split = len(kernels)
+        right = _build(term.right, kernels, table)
+        if right is None:
+            return None
+        if isinstance(term, GenParallel):
+            sync_ids = frozenset(
+                eid
+                for eid in (table.id_of(event) for event in term.sync)
+                if eid is not None
+            )
+        else:
+            sync_ids = None
+        return _Par(left, right, split, sync_ids)
+    if isinstance(term, Hiding):
+        child = _build(term.process, kernels, table)
+        if child is None:
+            return None
+        hidden_ids = frozenset(
+            eid
+            for eid in (table.id_of(event) for event in term.hidden)
+            if eid is not None and eid > TICK_ID
+        )
+        return _Hide(child, hidden_ids)
+    if isinstance(term, Renaming):
+        child = _build(term.process, kernels, table)
+        if child is None:
+            return None
+        id_map: Dict[int, int] = {}
+        for source, target in term.mapping:
+            sid = table.id_of(source)
+            if sid is None:
+                continue
+            id_map.setdefault(sid, table.intern(target))
+        return _Rename(child, id_map)
+    return None

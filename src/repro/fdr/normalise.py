@@ -144,7 +144,9 @@ def tau_cycle_states(lts: LTS) -> FrozenSet[StateId]:
     """States lying on a cycle of tau transitions (divergent states).
 
     Uses Tarjan's SCC algorithm restricted to tau edges; a state diverges if
-    its tau-SCC has more than one state or it has a tau self-loop.
+    its tau-SCC has more than one state or it has a tau self-loop.  Frames
+    carry an absolute edge index into the kernel's flat arrays, so resuming
+    a frame is pointer arithmetic instead of re-listing tau successors.
     """
     index_counter = [0]
     index: Dict[StateId, int] = {}
@@ -152,28 +154,35 @@ def tau_cycle_states(lts: LTS) -> FrozenSet[StateId]:
     on_stack: Set[StateId] = set()
     stack: List[StateId] = []
     divergent: Set[StateId] = set()
+    successors_span = lts.successors_span
 
-    # iterative Tarjan to avoid recursion limits on long tau chains
+    # iterative Tarjan to avoid recursion limits on long tau chains; the
+    # per-frame cursor is an edge index into the shared arrays (-1 = first
+    # visit, before the frame's range is known)
     for root in lts.iter_states():
         if root in index:
             continue
-        work: List[Tuple[StateId, int]] = [(root, 0)]
+        work: List[Tuple[StateId, int]] = [(root, -1)]
         while work:
-            state, child_index = work[-1]
-            if child_index == 0:
+            state, cursor = work[-1]
+            events, targets, lo, hi = successors_span(state)
+            if cursor < 0:
                 index[state] = index_counter[0]
                 lowlink[state] = index_counter[0]
                 index_counter[0] += 1
                 stack.append(state)
                 on_stack.add(state)
-            successors = lts.tau_successors(state)
+                cursor = lo
             advanced = False
-            while child_index < len(successors):
-                target = successors[child_index]
-                child_index += 1
+            while cursor < hi:
+                if events[cursor] != TAU_ID:
+                    cursor += 1
+                    continue
+                target = targets[cursor]
+                cursor += 1
                 if target not in index:
-                    work[-1] = (state, child_index)
-                    work.append((target, 0))
+                    work[-1] = (state, cursor)
+                    work.append((target, -1))
                     advanced = True
                     break
                 if target in on_stack:
@@ -193,7 +202,11 @@ def tau_cycle_states(lts: LTS) -> FrozenSet[StateId]:
                     divergent.update(component)
                 else:
                     only = component[0]
-                    if only in lts.tau_successors(only):
+                    events, targets, lo, hi = successors_span(only)
+                    if any(
+                        events[i] == TAU_ID and targets[i] == only
+                        for i in range(lo, hi)
+                    ):
                         divergent.add(only)
             if work:
                 parent, _ = work[-1]
@@ -211,6 +224,7 @@ def normalise(lts: LTS, obs=None) -> NormalisedSpec:
     spec = NormalisedSpec(table)
     divergent_states = tau_cycle_states(lts)
     node_index: Dict[FrozenSet[StateId], NodeId] = {}
+    successors_span = lts.successors_span
 
     def node_of(members: FrozenSet[StateId]) -> NodeId:
         existing = node_index.get(members)
@@ -223,10 +237,16 @@ def normalise(lts: LTS, obs=None) -> NormalisedSpec:
         spec.divergent.append(any(state in divergent_states for state in members))
         acceptance_sets: Set[int] = set()
         for state in members:
-            if lts.is_stable(state):
-                bits = 0
-                for eid, _ in lts.successors_ids(state):
-                    bits |= 1 << eid
+            events, _targets, lo, hi = successors_span(state)
+            bits = 0
+            for i in range(lo, hi):
+                eid = events[i]
+                if eid == TAU_ID:
+                    # an unstable state contributes no acceptance
+                    bits = -1
+                    break
+                bits |= 1 << eid
+            if bits >= 0:
                 acceptance_sets.add(bits)
         spec.acceptance_bits.append(minimal_bitsets(acceptance_sets, table))
         return node
@@ -243,10 +263,12 @@ def normalise(lts: LTS, obs=None) -> NormalisedSpec:
         expanded.add(node)
         by_event: Dict[int, Set[StateId]] = {}
         for state in members:
-            for eid, target in lts.successors_ids(state):
+            events, targets, lo, hi = successors_span(state)
+            for i in range(lo, hi):
+                eid = events[i]
                 if eid == TAU_ID:
                     continue
-                by_event.setdefault(eid, set()).add(target)
+                by_event.setdefault(eid, set()).add(targets[i])
         for eid, targets in sorted(
             by_event.items(), key=lambda kv: table.sort_key(kv[0])
         ):

@@ -9,11 +9,14 @@ reconstruct the shortest counterexample trace -- the "insecure trace" of the
 paper's workflow.
 
 The implementation side is anything exposing the small automaton protocol
-(``initial``, ``successors_ids``, ``is_stable``, ``table``): either a fully
-compiled :class:`~repro.csp.lts.LTS` (the eager path) or a
-:class:`LazyImplementation`, which unfolds implementation states on demand
-from the operational semantics so the search can exit on the first violation
-without materialising the whole state space.
+(``initial``, ``successors_span``, ``is_stable``, ``table``): a fully
+compiled :class:`~repro.csp.kernel.CompactLTS` (the eager path), a
+:class:`LazyImplementation` (states unfold on demand from the operational
+semantics so the search can exit on the first violation without
+materialising the whole state space), or the on-the-fly
+:class:`~repro.engine.product.ProductLTS` over compiled component kernels.
+All three store their edges in shared flat ``array('q')`` pairs, and the
+product search walks them by index -- no per-transition tuple allocation.
 
 Supported checks:
 
@@ -25,6 +28,7 @@ Supported checks:
 
 from __future__ import annotations
 
+from array import array
 from collections import deque
 from typing import Dict, FrozenSet, List, Optional, Tuple, Union
 
@@ -98,15 +102,22 @@ class CheckResult:
 class LazyImplementation:
     """On-the-fly implementation state space over the operational semantics.
 
-    Exposes the same automaton protocol as a compiled :class:`LTS`
-    (``initial`` / ``successors_ids`` / ``is_stable`` / ``table``) but
-    expands each state's transitions only when the product search first asks
-    for them, memoising terms exactly like the eager compiler -- so the
-    reachable fragment it builds is state-for-state the prefix of the eager
-    LTS the search actually touches, and verdicts and counterexamples come
-    out identical.  Raises :class:`StateSpaceLimitExceeded` when expansion
-    would pass *max_states* distinct terms, mirroring ``compile_lts``.
+    Exposes the same automaton protocol as a compiled
+    :class:`~repro.csp.kernel.CompactLTS` (``initial`` / ``successors_span``
+    / ``is_stable`` / ``table``) but expands each state's transitions only
+    when the product search first asks for them, memoising terms exactly
+    like the eager compiler -- so the reachable fragment it builds is
+    state-for-state the prefix of the eager LTS the search actually touches,
+    and verdicts and counterexamples come out identical.  Expanded edges are
+    appended to two shared flat ``array('q')`` buffers with per-state
+    ``(start, end)`` bounds, matching the kernel's CSR layout (states land
+    in expansion rather than id order, which the span view hides).  Raises
+    :class:`StateSpaceLimitExceeded` when expansion would pass *max_states*
+    distinct terms, mirroring ``compile_lts``.
     """
+
+    #: obs metric this implementation reports its expansion count under
+    expansion_metric = "lazy.states_expanded"
 
     def __init__(
         self,
@@ -121,7 +132,9 @@ class LazyImplementation:
         self.initial: StateId = 0
         self._terms: List[Process] = [process]
         self._index: Dict[Process, StateId] = {process: 0}
-        self._succ: List[Optional[List[Tuple[int, StateId]]]] = [None]
+        self._events: array = array("q")
+        self._targets: array = array("q")
+        self._bounds: List[Optional[Tuple[int, int]]] = [None]
 
     @property
     def state_count(self) -> int:
@@ -131,35 +144,53 @@ class LazyImplementation:
     def term_of(self, state: StateId) -> Process:
         return self._terms[state]
 
-    def successors_ids(self, state: StateId) -> List[Tuple[int, StateId]]:
-        cached = self._succ[state]
-        if cached is not None:
-            return cached
+    def successors_span(self, state: StateId) -> Tuple[array, array, int, int]:
+        """The state's edge range in the shared flat arrays (expands once)."""
+        bounds = self._bounds[state]
+        if bounds is None:
+            bounds = self._expand(state)
+        return self._events, self._targets, bounds[0], bounds[1]
+
+    def _expand(self, state: StateId) -> Tuple[int, int]:
         intern = self.table.intern
-        edges: List[Tuple[int, StateId]] = []
-        for event, successor in sos_transitions(self._terms[state], self.env):
-            target = self._index.get(successor)
+        index = self._index
+        terms = self._terms
+        events, targets = self._events, self._targets
+        start = len(events)
+        for event, successor in sos_transitions(terms[state], self.env):
+            target = index.get(successor)
             if target is None:
-                if len(self._terms) >= self.max_states:
+                if len(terms) >= self.max_states:
                     raise StateSpaceLimitExceeded(self.max_states)
-                target = len(self._terms)
-                self._index[successor] = target
-                self._terms.append(successor)
-                self._succ.append(None)
-            edges.append((intern(event), target))
-        self._succ[state] = edges
-        return edges
+                target = len(terms)
+                index[successor] = target
+                terms.append(successor)
+                self._bounds.append(None)
+            events.append(intern(event))
+            targets.append(target)
+        bounds = (start, len(events))
+        self._bounds[state] = bounds
+        return bounds
+
+    def successors_ids(self, state: StateId) -> List[Tuple[int, StateId]]:
+        events, targets, start, end = self.successors_span(state)
+        return [(events[i], targets[i]) for i in range(start, end)]
 
     def successors(self, state: StateId) -> List[Tuple[Event, StateId]]:
         event_of = self.table.event_of
         return [(event_of(eid), t) for eid, t in self.successors_ids(state)]
 
     def is_stable(self, state: StateId) -> bool:
-        return not any(eid == TAU_ID for eid, _ in self.successors_ids(state))
+        events, _targets, start, end = self.successors_span(state)
+        for i in range(start, end):
+            if events[i] == TAU_ID:
+                return False
+        return True
 
 
-#: Anything the product search can drive on the implementation side.
-Implementation = Union[LTS, LazyImplementation]
+#: Anything the product search can drive on the implementation side: a
+#: compiled kernel, a lazy SOS expansion, or an on-the-fly product view.
+Implementation = Union[LTS, LazyImplementation, "object"]
 
 
 def _attach_impl_state(
@@ -196,8 +227,9 @@ def _emit_search_metrics(obs: Tracer, search: "_ProductSearch") -> None:
         search.transitions_explored
     )
     metrics.gauge("refine.peak_frontier").set_max(search.peak_frontier)
-    if isinstance(search.impl, LazyImplementation):
-        metrics.counter("lazy.states_expanded").inc(search.impl.state_count)
+    metric = getattr(search.impl, "expansion_metric", None)
+    if metric is not None:
+        metrics.counter(metric).inc(search.impl.state_count)
 
 
 class _ProductSearch:
@@ -246,15 +278,15 @@ class _ProductSearch:
     def offered_events(self, impl_state: StateId) -> FrozenSet[Event]:
         """The events an implementation state offers, decoded."""
         event_of = self.impl.table.event_of
-        return frozenset(
-            event_of(eid) for eid, _ in self.impl.successors_ids(impl_state)
-        )
+        events, _targets, start, end = self.impl.successors_span(impl_state)
+        return frozenset(event_of(events[i]) for i in range(start, end))
 
     def offered_spec_bits(self, impl_state: StateId) -> int:
         """The same offer as a bitset in the spec table's id space."""
         bits = 0
-        for eid, _ in self.impl.successors_ids(impl_state):
-            sid = self._spec_id(eid)
+        events, _targets, start, end = self.impl.successors_span(impl_state)
+        for i in range(start, end):
+            sid = self._spec_id(events[i])
             if sid is not None:
                 bits |= 1 << sid
         return bits
@@ -282,11 +314,14 @@ class _ProductSearch:
         """
         afters_ids = self.spec.afters_ids
         event_of = self.impl.table.event_of
+        successors_span = self.impl.successors_span
+        parents = self.parents
         start: Pair = (self.impl.initial, self.spec.initial)
-        self.parents[start] = (None, None)
+        parents[start] = (None, None)
         work: deque = deque([start])
         track = self._track
         peak = 1
+        transitions = 0
         try:
             while work:
                 pair = work.popleft()
@@ -298,28 +333,37 @@ class _ProductSearch:
                         return violation
                 if prune is not None and prune(pair):
                     continue
-                for eid, target in self.impl.successors_ids(impl_state):
-                    self.transitions_explored += 1
+                # walk the state's edge range in the impl's flat arrays --
+                # the innermost loop of every refinement check
+                events, targets, lo, hi = successors_span(impl_state)
+                transitions += hi - lo
+                for i in range(lo, hi):
+                    eid = events[i]
                     if eid == TAU_ID:
-                        next_pair: Pair = (target, node)
+                        next_pair: Pair = (targets[i], node)
                     else:
                         sid = self._spec_id(eid)
                         next_node = (
                             afters_ids[node].get(sid) if sid is not None else None
                         )
                         if next_node is None:
+                            # count the edges scanned up to the violation,
+                            # matching the per-edge counting this loop used
+                            # before it went span-based
+                            transitions -= hi - (i + 1)
                             self.violation_pair = pair
                             return TraceCounterexample(
                                 self.trace_to(pair), event_of(eid)
                             )
-                        next_pair = (target, next_node)
-                    if next_pair not in self.parents:
-                        self.parents[next_pair] = (pair, eid)
+                        next_pair = (targets[i], next_node)
+                    if next_pair not in parents:
+                        parents[next_pair] = (pair, eid)
                         work.append(next_pair)
                         if track and len(work) > peak:
                             peak = len(work)
             return None
         finally:
+            self.transitions_explored += transitions
             if track:
                 self.peak_frontier = peak
 
@@ -464,9 +508,11 @@ def _bfs_with_parents(lts: LTS):
     while work:
         state = work.popleft()
         order.append(state)
-        for eid, target in lts.successors_ids(state):
+        events, targets, lo, hi = lts.successors_span(state)
+        for i in range(lo, hi):
+            target = targets[i]
             if target not in parents:
-                parents[target] = (state, eid)
+                parents[target] = (state, events[i])
                 work.append(target)
     return parents, order
 
@@ -498,9 +544,9 @@ def check_deadlock_free(
     parents, order = _bfs_with_parents(lts)
     transitions = 0
     for state in order:
-        edges = lts.successors_ids(state)
-        transitions += len(edges)
-        if edges:
+        _events, _targets, lo, hi = lts.successors_span(state)
+        transitions += hi - lo
+        if hi > lo:
             continue
         trace = _trace_from_parents(parents, state, lts.table)
         # a state reached by tick is the successfully-terminated state, which
@@ -525,7 +571,10 @@ def check_divergence_free(
     """No reachable cycle of tau transitions (no livelock)."""
     divergent = tau_cycle_states(lts)
     parents, order = _bfs_with_parents(lts)
-    transitions = sum(len(lts.successors_ids(s)) for s in order)
+    transitions = 0
+    for state in order:
+        _events, _targets, lo, hi = lts.successors_span(state)
+        transitions += hi - lo
     _emit_walk_metrics(obs, len(order), transitions)
     for state in order:
         if state in divergent:

@@ -49,9 +49,10 @@ def terminated_states(lts: LTS) -> FrozenSet[StateId]:
     """
     targets = set()
     for state in range(lts.state_count):
-        for eid, target in lts.successors_ids(state):
-            if eid == TICK_ID:
-                targets.add(target)
+        events, edge_targets, lo, hi = lts.successors_span(state)
+        for i in range(lo, hi):
+            if events[i] == TICK_ID:
+                targets.add(edge_targets[i])
     return frozenset(targets)
 
 
@@ -246,10 +247,12 @@ def bfs_renumber(
         rep = work.popleft()
         source = index[rep]
         seen_edges = set()
-        for eid, target in lts.successors_ids(rep):
-            target_rep = rep_of[target]
+        events, targets, lo, hi = lts.successors_span(rep)
+        for i in range(lo, hi):
+            eid = events[i]
+            target_rep = rep_of[targets[i]]
             discovered = target_rep in index
-            new_target = state_of(target)
+            new_target = state_of(targets[i])
             edge = (eid, new_target)
             if edge in seen_edges:
                 continue

@@ -52,28 +52,33 @@ def tau_scc_of(lts: LTS) -> List[int]:
     counter = 0
     scc_count = 0
 
+    successors_span = lts.successors_span
     for root in range(count):
         if index_of[root] != unvisited:
             continue
-        # (state, iterator position) frames, unrolled to avoid recursion
-        work: List[Tuple[StateId, int]] = [(root, 0)]
+        # (state, edge cursor) frames, unrolled to avoid recursion; the
+        # cursor is an absolute index into the kernel's flat arrays
+        # (-1 = first visit)
+        work: List[Tuple[StateId, int]] = [(root, -1)]
         while work:
             state, position = work.pop()
-            if position == 0:
+            events, targets, lo, hi = successors_span(state)
+            if position < 0:
                 index_of[state] = lowlink[state] = counter
                 counter += 1
                 stack.append(state)
                 on_stack[state] = True
-            edges = lts.successors_ids(state)
+                position = lo
             advanced = False
-            while position < len(edges):
-                eid, target = edges[position]
+            while position < hi:
+                eid = events[position]
+                target = targets[position]
                 position += 1
                 if eid != TAU_ID:
                     continue
                 if index_of[target] == unvisited:
                     work.append((state, position))
-                    work.append((target, 0))
+                    work.append((target, -1))
                     advanced = True
                     break
                 if on_stack[target]:
@@ -130,7 +135,10 @@ class TauLoopPass(LtsPass):
             provenance[source] = representative[scc]
             seen = set()
             for state in group:
-                for eid, target in lts.successors_ids(state):
+                events, targets, lo, hi = lts.successors_span(state)
+                for i in range(lo, hi):
+                    eid = events[i]
+                    target = targets[i]
                     if eid == TAU_ID and scc_of[target] == scc:
                         # an intra-component tau: the component is divergent,
                         # keep exactly one tau self-loop as its witness
@@ -162,11 +170,11 @@ class DiamondPass(LtsPass):
             # a tau into the terminated state is never inert: the source
             # still refuses tick, so merging it into the tick-target would
             # turn a stuck state into a terminated one
-            edges = lts.successors_ids(state)
+            events, targets, lo, hi = lts.successors_span(state)
             return (
-                len(edges) == 1
-                and edges[0][0] == TAU_ID
-                and edges[0][1] not in terminated
+                hi - lo == 1
+                and events[lo] == TAU_ID
+                and targets[lo] not in terminated
             )
 
         unresolved = -1
@@ -184,7 +192,8 @@ class DiamondPass(LtsPass):
             ):
                 positions[state] = len(chain)
                 chain.append(state)
-                state = lts.successors_ids(state)[0][1]
+                _events, targets, lo, _hi = lts.successors_span(state)
+                state = targets[lo]
             if rep_of[state] != unresolved:
                 endpoint = rep_of[state]
             elif state in positions:

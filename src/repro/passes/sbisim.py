@@ -61,12 +61,13 @@ def bisimulation_classes(lts: LTS) -> List[FrozenSet[StateId]]:
         members[next_block] = group
         next_block += 1
 
+    successors_span = lts.successors_span
     predecessors: List[List[StateId]] = [[] for _ in range(count)]
     for state in range(count):
-        for _, target in lts.successors_ids(state):
-            predecessors[target].append(state)
+        _events, targets, lo, hi = successors_span(state)
+        for i in range(lo, hi):
+            predecessors[targets[i]].append(state)
 
-    successors_ids = lts.successors_ids
     touched = set(members)
     while touched:
         #: hash-cons table for this sweep: signature -> small int
@@ -80,9 +81,9 @@ def bisimulation_classes(lts: LTS) -> List[FrozenSet[StateId]]:
             parts: Dict[int, List[StateId]] = {}
             order: List[int] = []
             for state in states:
+                events, targets, lo, hi = successors_span(state)
                 signature = frozenset(
-                    (eid, block_of[target])
-                    for eid, target in successors_ids(state)
+                    (events[i], block_of[targets[i]]) for i in range(lo, hi)
                 )
                 sig = sig_ids.setdefault(signature, len(sig_ids))
                 part = parts.get(sig)

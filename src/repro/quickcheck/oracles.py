@@ -18,6 +18,7 @@ semantics   operational (LTS) and denotational trace sets diverge
 normalise   normalisation loses traces, nondeterminism, or determinism
 refinement  engine ``[T=`` verdict differs from the subset definition
 lazy-eager  on-the-fly and eager refinement disagree (verdict or cex)
+kernel      the flat-array kernel diverges from the pre-refactor semantics
 cache       a compilation-cache hit changes a verdict or counterexample
 compression a semantic pass changes a verdict, counterexample or deadlock
 batch       the batch wire format or executor changes a verdict or trace
@@ -519,6 +520,125 @@ def check_extractor(value) -> None:
         )
 
 
+# -- oracle: flat-array kernel vs pre-refactor reference ----------------------------
+
+
+def _kernel_input() -> Gen:
+    return g.tuples(_PROCESSES, _PROCESSES, g.sampled_from(["T", "F"]))
+
+
+def check_kernel(value) -> None:
+    """The CSR kernel path agrees with the frozen tuple-list semantics.
+
+    Structure, bounded trace sets, refinement verdict, counterexample and
+    explored-pair count must all coincide -- the kernel refactor promised
+    byte-identical behaviour, and this is where the fuzzer holds it to that.
+    """
+    from ..csp.events import AlphabetTable
+    from ..fdr.refine import check_failures_refinement, check_trace_refinement
+    from .reference import (
+        reference_compile,
+        reference_refinement,
+        reference_visible_traces,
+    )
+
+    spec, impl, model = value
+    ktable, rtable = AlphabetTable(), AlphabetTable()
+    kernel_spec = compile_lts(spec, table=ktable)
+    kernel_impl = compile_lts(impl, table=ktable)
+    ref_spec = reference_compile(spec, table=rtable)
+    ref_impl = reference_compile(impl, table=rtable)
+
+    for label, kernel_lts, ref_lts in (
+        ("spec", kernel_spec, ref_spec),
+        ("impl", kernel_impl, ref_impl),
+    ):
+        if (
+            kernel_lts.state_count != ref_lts.state_count
+            or kernel_lts.initial != ref_lts.initial
+        ):
+            raise OracleViolation(
+                "kernel and reference compile of the {} {!r} disagree on "
+                "shape: {} vs {} states".format(
+                    label,
+                    spec if label == "spec" else impl,
+                    kernel_lts.state_count,
+                    ref_lts.state_count,
+                )
+            )
+        for state in range(ref_lts.state_count):
+            kernel_edges = [
+                (str(ktable.event_of(eid)), target)
+                for eid, target in kernel_lts.successors_ids(state)
+            ]
+            ref_edges = [
+                (str(rtable.event_of(eid)), target)
+                for eid, target in ref_lts.successors_ids(state)
+            ]
+            if kernel_edges != ref_edges:
+                raise OracleViolation(
+                    "kernel and reference compile of the {} {!r} disagree at "
+                    "state {}: {} vs {}".format(
+                        label,
+                        spec if label == "spec" else impl,
+                        state,
+                        kernel_edges,
+                        ref_edges,
+                    )
+                )
+        if reachable_visible_traces(kernel_lts, BOUND) != reference_visible_traces(
+            ref_lts, BOUND
+        ):
+            raise OracleViolation(
+                "kernel and reference trace sets diverge on the {} "
+                "{!r}".format(label, spec if label == "spec" else impl)
+            )
+
+    checker = check_trace_refinement if model == "T" else check_failures_refinement
+    engine = checker(kernel_spec, kernel_impl)
+    reference = reference_refinement(ref_spec, ref_impl, model)
+    if engine.passed != reference.passed:
+        raise OracleViolation(
+            "{!r} [{}= {!r}: kernel engine says {}, reference semantics say "
+            "{}".format(spec, model, impl, engine.passed, reference.passed)
+        )
+    if engine.passed:
+        return
+    cex = engine.counterexample
+    if tuple(cex.trace) != reference.trace:
+        raise OracleViolation(
+            "{!r} [{}= {!r}: kernel counterexample trace {} differs from the "
+            "reference trace {}".format(
+                spec, model, impl, tuple(cex.trace), reference.trace
+            )
+        )
+    if engine.states_explored != reference.states_explored:
+        raise OracleViolation(
+            "{!r} [{}= {!r}: kernel explored {} pairs, the reference "
+            "explored {}".format(
+                spec,
+                model,
+                impl,
+                engine.states_explored,
+                reference.states_explored,
+            )
+        )
+    if isinstance(cex, TraceCounterexample) and reference.event is not None:
+        if str(cex.forbidden) != str(reference.event):
+            raise OracleViolation(
+                "{!r} [{}= {!r}: kernel violating event {} differs from the "
+                "reference event {}".format(
+                    spec, model, impl, cex.forbidden, reference.event
+                )
+            )
+    if isinstance(cex, FailureCounterexample):
+        if {str(e) for e in cex.offered} != {str(e) for e in reference.offered}:
+            raise OracleViolation(
+                "{!r} [F= {!r}: kernel failure offers {} but the reference "
+                "offers {}".format(spec, impl, cex.offered, reference.offered)
+            )
+
+
 # -- the registry -------------------------------------------------------------------
 
 ORACLES: Dict[str, Oracle] = {}
@@ -572,6 +692,15 @@ _register(
         "repro.fdr.refine (LazyImplementation), repro.engine.pipeline",
         _lazy_eager_input(),
         check_lazy_eager,
+    )
+)
+_register(
+    Oracle(
+        "kernel",
+        "flat-array kernel and pre-refactor reference semantics agree",
+        "repro.csp.kernel, repro.csp.lts, repro.fdr.refine",
+        _kernel_input(),
+        check_kernel,
     )
 )
 _register(

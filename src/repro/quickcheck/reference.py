@@ -1,0 +1,300 @@
+"""Frozen pre-kernel reference semantics for the ``kernel`` oracle.
+
+When the flat-array kernel replaced the per-state tuple-list LTS, the old
+representation -- and the old per-edge loops over it -- moved here, frozen,
+as the reference side of a differential check.  :class:`ReferenceLTS`
+stores successors exactly the way ``repro.csp.lts.LTS`` did before the
+refactor (one Python list of ``(event_id, target)`` tuples per state), and
+the compile / trace-enumeration / normalise / product-search functions
+below are the straightforward loops the engine used to run over it.
+
+None of this code is reachable from the verification stack; it exists so
+the fuzzer can demand that the kernel path and the pre-refactor semantics
+agree on *everything* observable -- automaton structure, bounded trace
+sets, refinement verdicts, counterexample traces and failures, and even
+the explored-state counts that the conformance corpus pins.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..csp.events import AlphabetTable, Event, TAU_ID, TICK_ID
+from ..csp.process import Environment, Process
+from ..csp.semantics import transitions as sos_transitions
+
+StateId = int
+NodeId = int
+
+
+class ReferenceLTS:
+    """The pre-refactor LTS layout: a tuple list per state."""
+
+    def __init__(self, table: Optional[AlphabetTable] = None) -> None:
+        self.initial: StateId = 0
+        self.table = table if table is not None else AlphabetTable()
+        self.terms: List[Optional[Process]] = []
+        self._succ: List[List[Tuple[int, StateId]]] = []
+
+    @property
+    def state_count(self) -> int:
+        return len(self._succ)
+
+    @property
+    def transition_count(self) -> int:
+        return sum(len(edges) for edges in self._succ)
+
+    def add_state(self, term: Optional[Process] = None) -> StateId:
+        self._succ.append([])
+        self.terms.append(term)
+        return len(self._succ) - 1
+
+    def add_transition_id(self, source: StateId, eid: int, target: StateId) -> None:
+        self._succ[source].append((eid, target))
+
+    def successors_ids(self, state: StateId) -> List[Tuple[int, StateId]]:
+        return self._succ[state]
+
+    def is_stable(self, state: StateId) -> bool:
+        return all(eid != TAU_ID for eid, _ in self._succ[state])
+
+    def tau_closure(self, states: FrozenSet[StateId]) -> FrozenSet[StateId]:
+        seen: Set[StateId] = set(states)
+        work = deque(states)
+        while work:
+            state = work.popleft()
+            for eid, target in self._succ[state]:
+                if eid == TAU_ID and target not in seen:
+                    seen.add(target)
+                    work.append(target)
+        return frozenset(seen)
+
+
+def reference_compile(
+    process: Process,
+    env: Optional[Environment] = None,
+    max_states: int = 200_000,
+    table: Optional[AlphabetTable] = None,
+) -> ReferenceLTS:
+    """The pre-refactor eager compiler: BFS in discovery order."""
+    environment = env if env is not None else Environment()
+    lts = ReferenceLTS(table)
+    intern = lts.table.intern
+    index: Dict[Process, StateId] = {}
+
+    def state_of(term: Process) -> StateId:
+        existing = index.get(term)
+        if existing is not None:
+            return existing
+        if len(index) >= max_states:
+            from ..csp.lts import StateSpaceLimitExceeded
+
+            raise StateSpaceLimitExceeded(max_states)
+        state = lts.add_state(term)
+        index[term] = state
+        return state
+
+    state_of(process)
+    work: deque = deque([process])
+    while work:
+        term = work.popleft()
+        source = index[term]
+        for event, successor in sos_transitions(term, environment):
+            known = successor in index
+            target = state_of(successor)
+            lts.add_transition_id(source, intern(event), target)
+            if not known:
+                work.append(successor)
+    return lts
+
+
+def reference_visible_traces(
+    lts: ReferenceLTS, max_length: int
+) -> Set[Tuple[Event, ...]]:
+    """Bounded visible traces, the pre-refactor enumeration loop."""
+    results: Set[Tuple[Event, ...]] = {()}
+    start = lts.tau_closure(frozenset([lts.initial]))
+    frontier: List[Tuple[Tuple[Event, ...], frozenset]] = [((), start)]
+    event_of = lts.table.event_of
+    for _ in range(max_length):
+        next_frontier: List[Tuple[Tuple[Event, ...], frozenset]] = []
+        for trace, states in frontier:
+            by_event: Dict[int, Set[StateId]] = {}
+            for state in states:
+                for eid, target in lts.successors_ids(state):
+                    if eid == TAU_ID:
+                        continue
+                    by_event.setdefault(eid, set()).add(target)
+            for eid, targets in by_event.items():
+                extended = trace + (event_of(eid),)
+                if extended not in results:
+                    results.add(extended)
+                    if eid != TICK_ID:
+                        closure = lts.tau_closure(frozenset(targets))
+                        next_frontier.append((extended, closure))
+        frontier = next_frontier
+        if not frontier:
+            break
+    return results
+
+
+class ReferenceSpec:
+    """A normalised (deterministic, tau-free) reference automaton."""
+
+    def __init__(self) -> None:
+        self.initial: NodeId = 0
+        self.afters: List[Dict[int, NodeId]] = []
+        #: per-node subset-minimal stable acceptance sets (event-id frozensets)
+        self.acceptances: List[Tuple[FrozenSet[int], ...]] = []
+
+
+def _minimal_id_sets(
+    sets: Set[FrozenSet[int]], table: AlphabetTable
+) -> Tuple[FrozenSet[int], ...]:
+    kept: List[FrozenSet[int]] = []
+    for candidate in sorted(
+        sets, key=lambda s: (len(s), sorted(table.sort_key(e) for e in s))
+    ):
+        if not any(existing <= candidate for existing in kept):
+            kept.append(candidate)
+    return tuple(kept)
+
+
+def reference_normalise(lts: ReferenceLTS) -> ReferenceSpec:
+    """Subset construction with acceptance sets, the pre-refactor loops."""
+    table = lts.table
+    spec = ReferenceSpec()
+    node_index: Dict[FrozenSet[StateId], NodeId] = {}
+
+    def node_of(members: FrozenSet[StateId]) -> NodeId:
+        existing = node_index.get(members)
+        if existing is not None:
+            return existing
+        node = len(spec.afters)
+        node_index[members] = node
+        spec.afters.append({})
+        acceptance_sets: Set[FrozenSet[int]] = set()
+        for state in members:
+            if lts.is_stable(state):
+                acceptance_sets.add(
+                    frozenset(eid for eid, _ in lts.successors_ids(state))
+                )
+        spec.acceptances.append(_minimal_id_sets(acceptance_sets, table))
+        return node
+
+    start = lts.tau_closure(frozenset([lts.initial]))
+    spec.initial = node_of(start)
+    work: deque = deque([start])
+    expanded: Set[NodeId] = set()
+    while work:
+        members = work.popleft()
+        node = node_index[members]
+        if node in expanded:
+            continue
+        expanded.add(node)
+        by_event: Dict[int, Set[StateId]] = {}
+        for state in members:
+            for eid, target in lts.successors_ids(state):
+                if eid != TAU_ID:
+                    by_event.setdefault(eid, set()).add(target)
+        for eid, targets in sorted(
+            by_event.items(), key=lambda kv: table.sort_key(kv[0])
+        ):
+            closure = lts.tau_closure(frozenset(targets))
+            known = closure in node_index
+            spec.afters[node][eid] = node_of(closure)
+            if not known:
+                work.append(closure)
+    return spec
+
+
+class ReferenceVerdict:
+    """One reference check outcome, in directly comparable pieces."""
+
+    def __init__(
+        self,
+        passed: bool,
+        trace: Tuple[Event, ...] = (),
+        event: Optional[Event] = None,
+        offered: FrozenSet[Event] = frozenset(),
+        refused: FrozenSet[Event] = frozenset(),
+        states_explored: int = 0,
+    ) -> None:
+        self.passed = passed
+        self.trace = trace
+        self.event = event
+        self.offered = offered
+        self.refused = refused
+        self.states_explored = states_explored
+
+
+def reference_refinement(
+    spec_lts: ReferenceLTS, impl_lts: ReferenceLTS, model: str
+) -> ReferenceVerdict:
+    """``spec [model= impl`` over the reference layout, ``model`` T or F.
+
+    The same BFS the engine runs, written against the tuple-list storage:
+    identical tie-breaking, so the verdict, the violating trace *and* the
+    explored-pair count must match the kernel path exactly.
+    """
+    assert model in ("T", "F")
+    table = impl_lts.table
+    spec = reference_normalise(spec_lts)
+    event_of = table.event_of
+    parents: Dict[Tuple[StateId, NodeId], Tuple[Optional[Tuple], Optional[int]]] = {}
+    start = (impl_lts.initial, spec.initial)
+    parents[start] = (None, None)
+    work: deque = deque([start])
+
+    def trace_to(pair) -> Tuple[Event, ...]:
+        events: List[Event] = []
+        cursor = pair
+        while cursor is not None:
+            parent, eid = parents[cursor]
+            if eid is not None and eid != TAU_ID:
+                events.append(event_of(eid))
+            cursor = parent
+        events.reverse()
+        return tuple(events)
+
+    while work:
+        pair = work.popleft()
+        impl_state, node = pair
+        if model == "F" and impl_lts.is_stable(impl_state):
+            offered_ids = frozenset(
+                eid for eid, _ in impl_lts.successors_ids(impl_state)
+            )
+            acceptances = spec.acceptances[node]
+            if not any(accept <= offered_ids for accept in acceptances):
+                required = (
+                    frozenset().union(*acceptances) if acceptances else frozenset()
+                )
+                offered = frozenset(event_of(eid) for eid in offered_ids)
+                refused = frozenset(
+                    event_of(eid) for eid in required - offered_ids
+                )
+                return ReferenceVerdict(
+                    False,
+                    trace_to(pair),
+                    offered=offered,
+                    refused=refused,
+                    states_explored=len(parents),
+                )
+        for eid, target in impl_lts.successors_ids(impl_state):
+            if eid == TAU_ID:
+                next_pair = (target, node)
+            else:
+                next_node = spec.afters[node].get(eid)
+                if next_node is None:
+                    return ReferenceVerdict(
+                        False,
+                        trace_to(pair),
+                        event=event_of(eid),
+                        states_explored=len(parents),
+                    )
+                next_pair = (target, next_node)
+            if next_pair not in parents:
+                parents[next_pair] = (pair, eid)
+                work.append(next_pair)
+    return ReferenceVerdict(True, states_explored=len(parents))

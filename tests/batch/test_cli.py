@@ -79,7 +79,7 @@ def test_cache_dir_is_created_and_reused(tmp_path, capsys):
     cache_dir = tmp_path / "cache"
     assert main([path, "--cache-dir", str(cache_dir), "--quiet"]) == EXIT_OK
     first = capsys.readouterr().out
-    assert any(cache_dir.glob("*.json"))
+    assert any(cache_dir.glob("*.ltsb"))
     assert main([path, "--cache-dir", str(cache_dir), "--quiet"]) == EXIT_OK
     assert capsys.readouterr().out == first
 

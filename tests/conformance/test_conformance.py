@@ -92,18 +92,18 @@ def test_corrupted_cache_entry_does_not_change_results(tmp_path):
     cache_dir = str(tmp_path / "cache")
     run_batch(specs, inline=True, cache_dir=cache_dir)
     entries = sorted(
-        name for name in os.listdir(cache_dir) if name.endswith(".json")
+        name for name in os.listdir(cache_dir) if name.endswith(".ltsb")
     )
     assert entries, "populating the corpus should write cache entries"
     # vandalise every other entry: truncate one, fill the next with garbage
     for index, name in enumerate(entries[::2]):
         path = os.path.join(cache_dir, name)
-        with open(path, "r+", encoding="utf-8") as handle:
+        with open(path, "r+b") as handle:
             if index % 2:
                 handle.truncate(10)
             else:
                 handle.seek(0)
-                handle.write("garbage")
+                handle.write(b"garbage")
                 handle.truncate()
     report = run_batch(specs, inline=True, cache_dir=cache_dir)
     for result, expected in zip(report.results, expectations):

@@ -37,6 +37,21 @@ def compiled():
     return structural_key(process, env), compile_lts(process, env, table=table)
 
 
+def read_entry(path):
+    """Split a v2 entry into its JSON header and raw array body."""
+    with open(path, "rb") as handle:
+        raw = handle.read()
+    newline = raw.index(b"\n")
+    return json.loads(raw[:newline].decode("utf-8")), raw[newline + 1 :]
+
+
+def write_entry(path, header, body):
+    with open(path, "wb") as handle:
+        handle.write(json.dumps(header, separators=(",", ":")).encode("utf-8"))
+        handle.write(b"\n")
+        handle.write(body)
+
+
 class TestRoundTrip:
     def test_put_then_get_reproduces_the_automaton(self, tmp_path):
         key, lts = compiled()
@@ -73,6 +88,21 @@ class TestRoundTrip:
         (eid, _target), = loaded.successors_ids(loaded.initial)
         assert loaded.table.event_of(eid) == event
 
+    def test_entries_are_binary_kernel_dumps(self, tmp_path):
+        key, lts = compiled()
+        disk = DiskCache(str(tmp_path))
+        disk.put_lts(key, lts)
+        path = disk.path_of(key)
+        assert path.endswith(".ltsb")
+        header, body = read_entry(path)
+        assert header["format"] == DISKCACHE_FORMAT_VERSION
+        assert header["states"] == lts.state_count
+        assert header["transitions"] == lts.transition_count
+        # the body is exactly the three int64 arrays, nothing interpreted
+        item = 8
+        expected = (header["states"] + 1 + 2 * header["transitions"]) * item
+        assert len(body) == expected
+
     def test_miss_on_absent_key(self, tmp_path):
         disk = DiskCache(str(tmp_path))
         key, _lts = compiled()
@@ -108,10 +138,21 @@ class TestCorruptionTolerance:
         disk = DiskCache(str(tmp_path))
         disk.put_lts(key, lts)
         path = disk.path_of(key)
-        with open(path) as handle:
-            text = handle.read()
-        with open(path, "w") as handle:
-            handle.write(text[: len(text) // 2])
+        with open(path, "rb") as handle:
+            raw = handle.read()
+        with open(path, "wb") as handle:
+            handle.write(raw[: len(raw) // 2])
+        assert disk.get_lts(key) is None
+        assert disk.stats()["disk_corrupt"] == 1
+
+    def test_truncated_body_is_a_miss(self, tmp_path):
+        # the header parses fine but the arrays are short one edge
+        key, lts = compiled()
+        disk = DiskCache(str(tmp_path))
+        disk.put_lts(key, lts)
+        path = disk.path_of(key)
+        header, body = read_entry(path)
+        write_entry(path, header, body[:-8])
         assert disk.get_lts(key) is None
         assert disk.stats()["disk_corrupt"] == 1
 
@@ -120,11 +161,9 @@ class TestCorruptionTolerance:
         disk = DiskCache(str(tmp_path))
         disk.put_lts(key, lts)
         path = disk.path_of(key)
-        with open(path) as handle:
-            doc = json.load(handle)
-        doc["format"] = DISKCACHE_FORMAT_VERSION + 1
-        with open(path, "w") as handle:
-            json.dump(doc, handle)
+        header, body = read_entry(path)
+        header["format"] = DISKCACHE_FORMAT_VERSION + 1
+        write_entry(path, header, body)
         assert disk.get_lts(key) is None
         assert disk.stats()["disk_corrupt"] == 1
 
@@ -139,16 +178,30 @@ class TestCorruptionTolerance:
         assert disk.get_lts(key) is None
 
     def test_structural_garbage_is_a_miss(self, tmp_path):
+        # valid bytes, nonsense arrays: targets pointing past state_count
         key, lts = compiled()
         disk = DiskCache(str(tmp_path))
         disk.put_lts(key, lts)
         path = disk.path_of(key)
-        with open(path) as handle:
-            doc = json.load(handle)
-        doc["transitions"] = [[["nonsense"]]]
-        with open(path, "w") as handle:
-            json.dump(doc, handle)
+        header, body = read_entry(path)
+        from array import array
+
+        arr = array("q")
+        arr.frombytes(body)
+        arr[-1] = header["states"] + 7
+        write_entry(path, header, arr.tobytes())
         assert disk.get_lts(key) is None
+
+    def test_legacy_v1_entries_are_swept_on_open(self, tmp_path):
+        # a v1 .json entry left by an older build must not linger: its
+        # digest namespace is dead (key_digest folds in the version), so
+        # opening the directory removes it and reports it as stale
+        legacy = tmp_path / ("a" * 64 + ".json")
+        legacy.write_text('{"format": 1}')
+        disk = DiskCache(str(tmp_path))
+        assert not legacy.exists()
+        assert disk.stats()["disk_stale"] == 1
+        assert len(disk) == 0
 
 
 class TestHousekeeping:
@@ -169,6 +222,7 @@ class TestHousekeeping:
             "disk_misses",
             "disk_corrupt",
             "disk_writes",
+            "disk_stale",
         }
 
 

@@ -1,0 +1,247 @@
+"""The on-the-fly product view: parity with the term-level path, and POR.
+
+The :class:`~repro.engine.product.ProductLTS` replaces the SOS replay of
+compiled component leaves with direct kernel-span synthesis.  The claims
+pinned here:
+
+* the product explores state-for-state and edge-for-edge exactly what the
+  term-level :class:`~repro.fdr.refine.LazyImplementation` explores (same
+  numbering, same event order, same terms behind the states),
+* pipeline verdicts, counterexamples and explored-state counts are
+  unchanged whether the product view or the lazy SOS path runs the check,
+* terms the product cannot synthesise fall back cleanly,
+* the optional partial-order reduction preserves trace verdicts while
+  exploring no more (and on interleavings strictly fewer) states.
+"""
+
+import pytest
+
+from repro.csp import (
+    Alphabet,
+    CompiledProcess,
+    Environment,
+    Event,
+    GenParallel,
+    Hiding,
+    Interleave,
+    InternalChoice,
+    Renaming,
+    Stop,
+    StateSpaceLimitExceeded,
+    event,
+    prefix,
+    ref,
+)
+from repro.engine import ProductLTS, VerificationPipeline
+
+A, B, C, D = event("a"), event("b"), event("c"), event("d")
+
+
+def _composed_env():
+    env = Environment()
+    env.bind("P", prefix(A, prefix(B, ref("P"))))
+    env.bind("Q", prefix(A, prefix(B, ref("Q"))))
+    env.bind("SYS", GenParallel(ref("P"), ref("Q"), Alphabet([A, B])))
+    return env
+
+
+def _product_for(pipeline, term, model="T", por=False):
+    prepared = pipeline.plan.prepare(term, model)
+    return prepared, pipeline.plan.product_view(prepared, 10_000, por=por)
+
+
+def _explore_all(impl):
+    """Expand every discovered state; edges as (event name, target)."""
+    edges = {}
+    state = 0
+    while state < impl.state_count:
+        edges[state] = [
+            (str(evt), target) for evt, target in impl.successors(state)
+        ]
+        state += 1
+    return edges
+
+
+class TestQualification:
+    def test_composed_term_gets_a_product_view(self):
+        pipeline = VerificationPipeline(_composed_env())
+        _prepared, view = _product_for(pipeline, ref("SYS"))
+        assert isinstance(view, ProductLTS)
+
+    def test_uncompressed_term_has_no_view(self):
+        env = Environment()
+        env.bind("P", prefix(A, ref("P")))
+        pipeline = VerificationPipeline(env)
+        prepared = pipeline.plan.prepare(ref("P"), "T")
+        assert pipeline.plan.product_view(prepared, 10_000) is None
+
+    def test_bare_compiled_leaf_has_no_view(self):
+        pipeline = VerificationPipeline(_composed_env())
+        prepared = pipeline.plan.prepare(ref("SYS"), "T")
+        leaf = prepared.term.left
+        assert isinstance(leaf, CompiledProcess)
+        assert ProductLTS.for_term(leaf, pipeline.table, 10_000) is None
+
+    def test_degraded_leaf_has_no_view(self):
+        env = _composed_env()
+        pipeline = VerificationPipeline(env)
+        prepared = pipeline.plan.prepare(ref("SYS"), "T")
+        # splice a raw SOS term in place of a compiled leaf
+        degraded = GenParallel(
+            prepared.term.left, prefix(A, Stop()), Alphabet([A, B])
+        )
+        assert ProductLTS.for_term(degraded, pipeline.table, 10_000) is None
+
+
+class TestLazyParity:
+    def test_exploration_is_state_for_state_identical(self):
+        env = _composed_env()
+        pipeline = VerificationPipeline(env)
+        prepared, view = _product_for(pipeline, ref("SYS"))
+        lazy = pipeline.lazy(prepared.term)
+        assert _explore_all(view) == _explore_all(lazy)
+        assert view.state_count == lazy.state_count
+
+    def test_terms_behind_states_match(self):
+        env = _composed_env()
+        pipeline = VerificationPipeline(env)
+        prepared, view = _product_for(pipeline, ref("SYS"))
+        lazy = pipeline.lazy(prepared.term)
+        _explore_all(view), _explore_all(lazy)
+        for state in range(view.state_count):
+            assert repr(view.term_of(state)) == repr(lazy.term_of(state))
+
+    def test_hiding_and_renaming_on_the_spine(self):
+        env = _composed_env()
+        env.bind(
+            "WRAPPED",
+            Renaming(Hiding(ref("SYS"), Alphabet([B])), {A: C}),
+        )
+        pipeline = VerificationPipeline(env)
+        prepared, view = _product_for(pipeline, ref("WRAPPED"))
+        assert isinstance(view, ProductLTS)
+        lazy = pipeline.lazy(prepared.term)
+        assert _explore_all(view) == _explore_all(lazy)
+
+    def test_interleave_on_the_spine(self):
+        env = Environment()
+        env.bind("L", prefix(A, prefix(B, Stop())))
+        env.bind("R", prefix(C, prefix(D, Stop())))
+        env.bind("SYS", Interleave(ref("L"), ref("R")))
+        pipeline = VerificationPipeline(env)
+        prepared, view = _product_for(pipeline, ref("SYS"))
+        assert isinstance(view, ProductLTS)
+        lazy = pipeline.lazy(prepared.term)
+        assert _explore_all(view) == _explore_all(lazy)
+
+    def test_max_states_budget_trips_identically(self):
+        env = _composed_env()
+        pipeline = VerificationPipeline(env)
+        prepared = pipeline.plan.prepare(ref("SYS"), "T")
+        view = pipeline.plan.product_view(prepared, 1)
+        lazy = pipeline.lazy(prepared.term, 1)
+        with pytest.raises(StateSpaceLimitExceeded):
+            _explore_all(view)
+        with pytest.raises(StateSpaceLimitExceeded):
+            _explore_all(lazy)
+
+    def test_pipeline_verdicts_match_the_sos_paths(self):
+        flawed = Environment()
+        flawed.bind("P", prefix(A, prefix(B, ref("P"))))
+        flawed.bind("Q", prefix(A, prefix(C, prefix(B, ref("Q")))))
+        flawed.bind(
+            "SYS", GenParallel(ref("P"), ref("Q"), Alphabet([A, B]))
+        )
+        for model in ("T", "F"):
+            product_run = VerificationPipeline(flawed).refinement(
+                ref("P"), ref("SYS"), model
+            )
+            lazy_run = VerificationPipeline(flawed, passes="none").refinement(
+                ref("P"), ref("SYS"), model
+            )
+            eager_run = VerificationPipeline(flawed, on_the_fly=False).refinement(
+                ref("P"), ref("SYS"), model
+            )
+            assert product_run.passed == lazy_run.passed == eager_run.passed
+            if not product_run.passed:
+                assert [str(e) for e in product_run.counterexample.trace] == [
+                    str(e) for e in lazy_run.counterexample.trace
+                ]
+                assert (
+                    product_run.counterexample.describe()
+                    == eager_run.counterexample.describe()
+                )
+
+
+def _tau_branching_env(components):
+    """Interleaved components whose initial states offer only tau moves."""
+    env = Environment()
+    names = []
+    for i in range(components):
+        left = prefix(Event("a{}".format(i)), Stop())
+        right = prefix(Event("b{}".format(i)), Stop())
+        name = "C{}".format(i)
+        env.bind(name, InternalChoice(left, right))
+        names.append(name)
+    system = ref(names[0])
+    for name in names[1:]:
+        system = Interleave(system, ref(name))
+    env.bind("SYS", system)
+    return env
+
+
+class TestPartialOrderReduction:
+    def test_por_preserves_passing_verdicts_and_shrinks_the_search(self):
+        env = _tau_branching_env(4)
+        spec = ref("SYS")
+        full = VerificationPipeline(_tau_branching_env(4)).refinement(
+            spec, ref("SYS"), "T"
+        )
+        reduced = VerificationPipeline(
+            _tau_branching_env(4), por=True
+        ).refinement(spec, ref("SYS"), "T")
+        assert full.passed and reduced.passed
+        assert reduced.states_explored <= full.states_explored
+        assert reduced.states_explored < full.states_explored
+
+    def test_por_preserves_failing_verdicts(self):
+        env = _tau_branching_env(3)
+        # a spec that forbids one of the implementation's visible events
+        env.bind("SPEC", InternalChoice(prefix(Event("a0"), Stop()), Stop()))
+        full = VerificationPipeline(env).refinement(ref("SPEC"), ref("SYS"), "T")
+        por_env = _tau_branching_env(3)
+        por_env.bind(
+            "SPEC", InternalChoice(prefix(Event("a0"), Stop()), Stop())
+        )
+        reduced = VerificationPipeline(por_env, por=True).refinement(
+            ref("SPEC"), ref("SYS"), "T"
+        )
+        # the reduction reorders the frontier, so the explored-pair count may
+        # differ either way on a failing check; the verdict may not
+        assert not full.passed and not reduced.passed
+
+    def test_por_is_ignored_outside_trace_checks(self):
+        env = _tau_branching_env(3)
+        pipeline = VerificationPipeline(env, por=True)
+        prepared = pipeline.plan.prepare(ref("SYS"), "F")
+        view = pipeline.plan.product_view(prepared, 10_000, por=False)
+        assert view is not None and not view.por
+        failures = pipeline.refinement(ref("SYS"), ref("SYS"), "F")
+        trace = VerificationPipeline(
+            _tau_branching_env(3)
+        ).refinement(ref("SYS"), ref("SYS"), "F")
+        assert failures.passed == trace.passed
+
+    def test_ample_sets_actually_fire(self):
+        env = _tau_branching_env(3)
+        pipeline = VerificationPipeline(env, por=True)
+        prepared, view = _product_for(pipeline, ref("SYS"), por=True)
+        _explore_all(view)
+        assert view.ample_hits > 0
+
+    def test_por_is_off_by_default(self):
+        pipeline = VerificationPipeline(_tau_branching_env(2))
+        assert pipeline.por is False
+        _prepared, view = _product_for(pipeline, ref("SYS"))
+        _explore_all(view)
+        assert view.ample_hits == 0

@@ -21,6 +21,7 @@ EXPECTED_ORACLES = {
     "normalise",
     "refinement",
     "lazy-eager",
+    "kernel",
     "cache",
     "compression",
     "batch",
