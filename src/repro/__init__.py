@@ -20,6 +20,7 @@ The package provides every stage of the paper's Fig. 1 toolchain:
 * :mod:`repro.security`   -- Dolev-Yao intruders, attack trees, properties
 * :mod:`repro.testgen`    -- model-based test generation + conformance runs
 * :mod:`repro.ota`        -- the X.1373 software-update case study
+* :mod:`repro.server`     -- the ``cspserve`` daemon (warm workers, dedup)
 
 Quickstart -- the :mod:`repro.api` facade is the supported entry point::
 
@@ -48,6 +49,7 @@ from . import (
     obs,
     ota,
     security,
+    server,
     testgen,
     translator,
 )
@@ -58,6 +60,7 @@ from .api import (
     check_property,
     check_refinement,
     extract_model,
+    server_client,
     verify_requirement,
     verify_requirements,
 )
@@ -83,6 +86,8 @@ __all__ = [
     "obs",
     "ota",
     "security",
+    "server",
+    "server_client",
     "testgen",
     "translator",
     "verify_requirement",

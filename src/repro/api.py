@@ -39,6 +39,7 @@ __all__ = [
     "verify_requirement",
     "verify_requirements",
     "extract_model",
+    "server_client",
 ]
 
 
@@ -167,6 +168,22 @@ def verify_requirements(
         obs=obs,
         inline=jobs <= 1 and cache_dir is None,
     )
+
+
+def server_client(url: str, *, http_timeout: Optional[float] = None):
+    """A client for a running ``cspserve`` daemon (verification as a service).
+
+    Returns a :class:`~repro.server.client.ServerClient`; ``.check(spec)``
+    submits one :class:`~repro.batch.spec.CheckSpec` and blocks on its
+    verdict, ``.run_manifest(specs)`` submits a whole batch (results in
+    manifest order, canonically byte-identical to a local ``cspbatch``
+    run).  The daemon pays compilation once per distinct check across all
+    clients -- identical in-flight submissions coalesce server-side.
+    """
+    # deferred: most api callers never talk to a daemon
+    from .server.client import ServerClient
+
+    return ServerClient(url, http_timeout=http_timeout)
 
 
 def extract_model(

@@ -60,6 +60,24 @@ def add_stats_arg(parser: argparse.ArgumentParser, help_text: str) -> None:
     parser.add_argument("--stats", action="store_true", help=help_text)
 
 
+def parse_endpoint(value: str, default_host: str = "127.0.0.1") -> Tuple[str, int]:
+    """``HOST:PORT``, ``:PORT`` or bare ``PORT`` -> a bind address.
+
+    Shared by ``cspserve --http`` and anything else that binds a loopback
+    listener; port 0 is allowed (the OS picks an ephemeral port).
+    """
+    host, _, port_text = value.rpartition(":")
+    if not host:
+        host = default_host
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError("endpoint {!r} needs a numeric port".format(value))
+    if not 0 <= port <= 65535:
+        raise ValueError("endpoint port {} is out of range".format(port))
+    return host, port
+
+
 def tracer_from_args(args: argparse.Namespace) -> Tracer:
     """The run's tracer: live iff ``--profile`` or ``--trace-out`` was given."""
     if getattr(args, "profile", False) or getattr(args, "trace_out", None):

@@ -1,0 +1,147 @@
+"""A dependency-free HTTP client for a running ``cspserve`` daemon.
+
+The client shape is the CI gate from the related work: submit a manifest,
+block on the verdicts, fail closed.  :meth:`ServerClient.run_manifest`
+does exactly that (one ``POST /batch`` round trip, results in manifest
+order), and :meth:`ServerClient.check` submits a single
+:class:`~repro.batch.spec.CheckSpec`.  Rejections surface as
+:class:`~repro.server.protocol.Rejection` (with the machine-readable code
+and retry hint); transport problems -- daemon not running, connection
+refused, unparseable response -- surface as :class:`ServerError`, which a
+fail-closed caller treats like a failing verdict.
+"""
+
+from __future__ import annotations
+
+import json
+from http.client import HTTPConnection
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from urllib.parse import urlsplit
+
+from ..batch.spec import BATCH_FORMAT_VERSION, CheckSpec, JobResult
+from .protocol import Rejection, check_request
+
+
+class ServerError(Exception):
+    """The daemon could not be reached or spoke something unparseable."""
+
+
+def parse_server_url(url: str) -> Tuple[str, int]:
+    """``http://HOST:PORT`` (or bare ``HOST:PORT``) -> (host, port)."""
+    if "//" not in url:
+        url = "http://" + url
+    parts = urlsplit(url)
+    if parts.scheme != "http":
+        raise ValueError(
+            "server URL must be http:// (the daemon is localhost-only), "
+            "got {!r}".format(url)
+        )
+    if not parts.hostname or not parts.port:
+        raise ValueError("server URL needs an explicit host and port: {!r}".format(url))
+    return parts.hostname, parts.port
+
+
+class ServerClient:
+    """Talks the server protocol to one daemon over localhost HTTP."""
+
+    def __init__(self, url: str, *, http_timeout: Optional[float] = None) -> None:
+        self.host, self.port = parse_server_url(url)
+        #: socket-level timeout per round trip (None: wait for the verdict)
+        self.http_timeout = http_timeout
+
+    # -- transport -----------------------------------------------------------
+
+    def _round_trip(
+        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+    ) -> Tuple[int, Dict[str, Any]]:
+        connection = HTTPConnection(self.host, self.port, timeout=self.http_timeout)
+        try:
+            payload = None
+            headers = {}
+            if body is not None:
+                payload = json.dumps(body, sort_keys=True).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=payload, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+        except OSError as error:
+            raise ServerError(
+                "cannot reach cspserve at {}:{}: {}".format(
+                    self.host, self.port, error
+                )
+            ) from None
+        finally:
+            connection.close()
+        try:
+            doc = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as error:
+            raise ServerError("unparseable server response: {}".format(error)) from None
+        return response.status, doc
+
+    @staticmethod
+    def _payload(status: int, doc: Dict[str, Any], key: str) -> Any:
+        if doc.get("status") == "rejected":
+            raise Rejection(doc["code"], doc.get("error", ""))
+        if status != 200 or key not in doc:
+            raise ServerError(
+                "unexpected server response (HTTP {}): {}".format(
+                    status, json.dumps(doc, sort_keys=True)[:200]
+                )
+            )
+        return doc[key]
+
+    # -- endpoints -----------------------------------------------------------
+
+    def healthz(self) -> Dict[str, Any]:
+        status, doc = self._round_trip("GET", "/healthz")
+        if status != 200:
+            raise ServerError("unhealthy daemon (HTTP {})".format(status))
+        return doc
+
+    def stats(self) -> Dict[str, Any]:
+        status, doc = self._round_trip("GET", "/stats")
+        return self._payload(status, doc, "stats")
+
+    def check(
+        self,
+        spec: Union[CheckSpec, Dict[str, Any]],
+        *,
+        tenant: Optional[str] = None,
+        timeout: Optional[float] = None,
+        request_id: Optional[str] = None,
+        index: int = 0,
+    ) -> JobResult:
+        """Submit one check and block on its verdict."""
+        spec_doc = spec.to_doc() if isinstance(spec, CheckSpec) else spec
+        request = check_request(
+            spec_doc,
+            request_id=request_id,
+            tenant=tenant,
+            timeout=timeout,
+            index=index,
+        )
+        status, doc = self._round_trip("POST", "/check", request)
+        return JobResult.from_doc(self._payload(status, doc, "result"))
+
+    def run_manifest(
+        self,
+        specs: Sequence[Union[CheckSpec, Dict[str, Any]]],
+        *,
+        tenant: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ) -> List[JobResult]:
+        """Submit a whole manifest; results come back in manifest order."""
+        body: Dict[str, Any] = {
+            "format": BATCH_FORMAT_VERSION,
+            "checks": [
+                spec.to_doc() if isinstance(spec, CheckSpec) else spec
+                for spec in specs
+            ],
+        }
+        if tenant is not None:
+            body["tenant"] = tenant
+        if timeout is not None:
+            body["timeout"] = timeout
+        status, doc = self._round_trip("POST", "/batch", body)
+        results = self._payload(status, doc, "results")
+        return [JobResult.from_doc(entry) for entry in results]

@@ -1,0 +1,263 @@
+"""The cspserve command line: responses on stdout, diagnostics on stderr.
+
+Pins the stream contract the other console scripts honour (machine output
+never mixes with diagnostics), the ``--stats`` / ``--profile`` /
+``--trace-out`` passthrough, the usage-error exits, and -- through one real
+subprocess -- the HTTP banner and the graceful ``SIGTERM`` drain that the
+CI smoke job scrapes.
+"""
+
+import io
+import json
+import os
+import signal
+import subprocess
+import sys
+
+import pytest
+
+from repro.batch import CheckSpec, dump_manifest
+from repro.batch.cli import main as cspbatch_main
+from repro.cli_common import (
+    EXIT_OK,
+    EXIT_USAGE,
+    EXIT_VIOLATION,
+    parse_endpoint,
+)
+from repro.csp.events import Event
+from repro.csp.process import Prefix, Stop
+from repro.obs.schema import validate_file
+from repro.server.cli import main as cspserve_main
+from repro.server.client import ServerClient
+from repro.server.http import HttpFrontend
+from repro.server.protocol import check_request
+
+A, B, C = Event("a"), Event("b"), Event("c")
+
+
+def selftest(op, check_id, **options):
+    return CheckSpec.selftest(op, check_id=check_id, **options).to_doc()
+
+
+def refinement_doc(check_id="ref"):
+    good = Prefix(A, Prefix(B, Stop()))
+    return CheckSpec.refinement(good, good, "T", check_id=check_id).to_doc()
+
+
+def run_stdio(monkeypatch, requests, argv=()):
+    text = "".join(json.dumps(doc) + "\n" for doc in requests)
+    monkeypatch.setattr("sys.stdin", io.StringIO(text))
+    return cspserve_main(["--stdio", *argv])
+
+
+class TestStdioContract:
+    def test_stdout_carries_nothing_but_responses(self, monkeypatch, capsys):
+        requests = [
+            {"op": "ping", "id": "p"},
+            check_request(selftest("pass", "c1")),
+            {"op": "stats", "id": "s"},
+        ]
+        assert run_stdio(monkeypatch, requests) == EXIT_OK
+        captured = capsys.readouterr()
+        lines = captured.out.splitlines()
+        assert len(lines) == 3
+        for line in lines:
+            doc = json.loads(line)
+            assert doc["protocol"] == 1
+            assert doc["status"] == "ok"
+        assert "cspserve" not in captured.out
+        assert "cspserve: served 3 requests" in captured.err
+
+    def test_served_one_request_is_singular(self, monkeypatch, capsys):
+        assert run_stdio(monkeypatch, [{"op": "ping"}]) == EXIT_OK
+        assert "cspserve: served 1 request\n" in capsys.readouterr().err
+
+    def test_quiet_silences_stderr(self, monkeypatch, capsys):
+        assert run_stdio(monkeypatch, [{"op": "ping"}], ["--quiet"]) == EXIT_OK
+        assert capsys.readouterr().err == ""
+
+    def test_stats_flag_emits_server_counters(self, monkeypatch, capsys):
+        requests = [check_request(selftest("pass", "c1"))]
+        assert run_stdio(monkeypatch, requests, ["--stats"]) == EXIT_OK
+        captured = capsys.readouterr()
+        assert "stat server.requests: 1" in captured.err
+        assert "stat server.executions: 1" in captured.err
+        assert not any(
+            line.startswith("stat ") for line in captured.out.splitlines()
+        )
+
+    def test_profile_flag_prints_a_table_on_stderr(self, monkeypatch, capsys):
+        requests = [check_request(refinement_doc())]
+        assert run_stdio(monkeypatch, requests, ["--profile"]) == EXIT_OK
+        captured = capsys.readouterr()
+        assert "profile [" in captured.err
+        assert "profile [" not in captured.out
+        # stdout stayed pure JSONL even with observability on
+        assert json.loads(captured.out.splitlines()[0])["status"] == "ok"
+
+    def test_trace_out_writes_a_valid_trace(self, monkeypatch, capsys, tmp_path):
+        trace = str(tmp_path / "trace.jsonl")
+        requests = [check_request(refinement_doc())]
+        args = ["--trace-out", trace]
+        assert run_stdio(monkeypatch, requests, args) == EXIT_OK
+        assert "trace:" in capsys.readouterr().err
+        counts = validate_file(trace)
+        assert counts["span"] >= 1  # at least the server span
+        assert counts["counter"] >= 1  # the server.* metrics travelled too
+
+    def test_server_options_reach_the_core(self, monkeypatch, capsys):
+        # quota=1: the second concurrent submission must be rejected
+        requests = [
+            check_request(selftest("sleep:0.75", "a")),
+            check_request(selftest("pass", "b")),
+        ]
+        args = ["--workers", "1", "--quota", "1", "--quiet"]
+        assert run_stdio(monkeypatch, requests, args) == EXIT_OK
+        docs = [json.loads(line) for line in capsys.readouterr().out.splitlines()]
+        assert docs[0]["status"] == "ok"
+        assert docs[1]["status"] == "rejected"
+        assert docs[1]["code"] == "quota"
+
+
+class TestUsageErrors:
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["--workers", "0"],
+            ["--queue-limit", "0"],
+            ["--quota", "0"],
+            ["--max-request-bytes", "0"],
+            ["--http", "no-port-here"],
+            ["--http", "127.0.0.1:70000"],
+        ],
+    )
+    def test_bad_values_exit_2(self, argv, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cspserve_main(argv)
+        assert excinfo.value.code == EXIT_USAGE
+        assert "cspserve:" in capsys.readouterr().err
+
+    def test_stdio_and_http_are_mutually_exclusive(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cspserve_main(["--stdio", "--http", "127.0.0.1:0"])
+        assert excinfo.value.code == EXIT_USAGE
+
+
+class TestEndpointParsing:
+    def test_forms(self):
+        assert parse_endpoint("8080") == ("127.0.0.1", 8080)
+        assert parse_endpoint(":0") == ("127.0.0.1", 0)
+        assert parse_endpoint("0.0.0.0:99") == ("0.0.0.0", 99)
+
+    def test_errors(self):
+        with pytest.raises(ValueError, match="numeric port"):
+            parse_endpoint("localhost")
+        with pytest.raises(ValueError, match="out of range"):
+            parse_endpoint("127.0.0.1:99999")
+
+
+class TestHttpDaemonSubprocess:
+    def test_banner_serve_and_graceful_sigterm(self):
+        env = dict(os.environ)
+        env.setdefault("PYTHONPATH", "src")
+        daemon = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.server.cli",
+                "--http",
+                "127.0.0.1:0",
+                "--workers",
+                "1",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        try:
+            # the banner is the CI job's cue; it must be one scrapeable line
+            banner = daemon.stderr.readline()
+            assert banner.startswith("cspserve: listening on http://127.0.0.1:")
+            url = banner.split()[-1]
+            client = ServerClient(url)
+            assert client.healthz()["state"] == "running"
+            result = client.check(selftest("pass", "smoke"))
+            assert result.verdict == "PASS"
+            daemon.send_signal(signal.SIGTERM)
+            stdout, stderr = daemon.communicate(timeout=30)
+        finally:
+            if daemon.poll() is None:
+                daemon.kill()
+                daemon.communicate()
+        assert daemon.returncode == EXIT_OK
+        assert stdout == ""  # HTTP mode writes nothing to stdout
+        assert "cspserve: draining" in stderr
+
+
+class TestCspbatchServerMode:
+    @pytest.fixture
+    def manifest(self, tmp_path):
+        good = Prefix(A, Prefix(B, Stop()))
+        bad = Prefix(A, Prefix(C, Stop()))
+        specs = [
+            CheckSpec.refinement(good, good, "T", check_id="ok"),
+            CheckSpec.refinement(good, bad, "T", check_id="nope"),
+        ]
+        path = str(tmp_path / "manifest.json")
+        dump_manifest(specs, path)
+        return path
+
+    @pytest.fixture
+    def frontend(self, make_server):
+        server = make_server(workers=2)
+        with HttpFrontend(server) as listener:
+            yield server, listener.url
+
+    def test_server_mode_is_byte_identical_to_inline(
+        self, manifest, frontend, capsys
+    ):
+        _, url = frontend
+        assert cspbatch_main([manifest, "--jobs", "0", "--quiet"]) == EXIT_VIOLATION
+        inline_out = capsys.readouterr().out
+        assert cspbatch_main([manifest, "--server", url, "--quiet"]) == EXIT_VIOLATION
+        assert capsys.readouterr().out == inline_out
+
+    def test_server_mode_summary_names_the_daemon(self, manifest, frontend, capsys):
+        _, url = frontend
+        assert cspbatch_main([manifest, "--server", url]) == EXIT_VIOLATION
+        err = capsys.readouterr().err
+        assert "2 jobs" in err
+        assert "via {}".format(url) in err
+        assert "nope: FAIL" in err
+
+    def test_server_mode_stats(self, manifest, frontend, capsys):
+        _, url = frontend
+        argv = [manifest, "--server", url, "--quiet", "--stats"]
+        assert cspbatch_main(argv) == EXIT_VIOLATION
+        err = capsys.readouterr().err
+        assert "stat FAIL: 1" in err
+        assert "stat PASS: 1" in err
+
+    def test_unreachable_daemon_exits_2(self, manifest, capsys):
+        import socket
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        url = "http://127.0.0.1:{}".format(port)
+        assert cspbatch_main([manifest, "--server", url]) == EXIT_USAGE
+        assert "cannot reach" in capsys.readouterr().err
+
+    def test_bad_server_url_exits_2(self, manifest, capsys):
+        argv = [manifest, "--server", "ftp://example:1"]
+        assert cspbatch_main(argv) == EXIT_USAGE
+        assert "http://" in capsys.readouterr().err
+
+    def test_rejected_manifest_fails_closed(self, manifest, frontend, capsys):
+        server, url = frontend
+        server.close(drain=True)  # drained daemon: submissions bounce
+        assert cspbatch_main([manifest, "--server", url]) == EXIT_VIOLATION
+        err = capsys.readouterr().err
+        assert "server rejected the manifest (draining)" in err

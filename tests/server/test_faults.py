@@ -1,0 +1,148 @@
+"""Fault injection: one request fails alone, the daemon keeps serving.
+
+The matrix from the executor's fault taxonomy, replayed against the warm
+pool: a worker that ``os._exit``\\ s mid-request, a request that overruns
+its deadline, malformed and oversize submissions, and a disk cache entry
+corrupted between requests.  Every one must resolve exactly one request
+with ``ERROR``/``TIMEOUT`` (or a deterministic rejection) while later
+requests on the same daemon still verify normally.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.batch import CheckSpec, execute_spec
+from repro.csp.events import Event
+from repro.csp.process import Prefix, Stop
+from repro.server.protocol import BAD_REQUEST, OVERSIZE, Rejection
+
+from .conftest import wait_until
+
+A, B = Event("a"), Event("b")
+
+
+def selftest(op, check_id, **options):
+    return CheckSpec.selftest(op, check_id=check_id, **options).to_doc()
+
+
+def cached_refinement():
+    good = Prefix(A, Prefix(B, Stop()))
+    return CheckSpec.refinement(good, good, "T", check_id="cached")
+
+
+def test_worker_crash_errors_that_request_only(make_server):
+    server = make_server(workers=2)
+    sibling = server.submit(selftest("sleep:1", "sibling"))
+    crasher = server.submit(selftest("exit:3", "crasher"))
+    crashed = crasher.result(timeout=60)
+    assert crashed.verdict == "ERROR"
+    assert "worker exited with code 3" in crashed.error
+    # the sibling in flight on the other worker is untouched
+    assert sibling.result(timeout=60).verdict == "PASS"
+    # the pool healed: the replacement worker serves the next request
+    assert server.submit(selftest("pass", "after")).result(timeout=60).verdict == "PASS"
+    assert server.metrics.counter("server.worker_restarts").value == 1
+
+
+def test_crash_with_exit_code_zero_is_still_an_error(make_server):
+    server = make_server(workers=1)
+    result = server.submit(selftest("exit:0", "z")).result(timeout=60)
+    assert result.verdict == "ERROR"
+    assert "exited with code 0" in result.error
+
+
+def test_crash_fails_every_coalesced_ticket(make_server):
+    server = make_server(workers=1)
+    server.submit(selftest("sleep:0.75", "blk"))
+    # two requesters share the doomed execution; both must see the ERROR
+    one = server.submit(selftest("exit:5", "boom"), request_id="r1")
+    two = server.submit(selftest("exit:5", "boom"), request_id="r2")
+    assert server.metrics.counter("server.dedup_hits").value == 1
+    for ticket in (one, two):
+        result = ticket.result(timeout=60)
+        assert result.verdict == "ERROR"
+        assert "worker exited with code 5" in result.error
+
+
+def test_timeout_terminates_promptly_and_alone(make_server):
+    server = make_server(workers=2)
+    started = time.perf_counter()
+    slow = server.submit(selftest("sleep:30", "slow"), timeout=0.3)
+    quick = server.submit(selftest("pass", "quick"))
+    timed_out = slow.result(timeout=60)
+    assert time.perf_counter() - started < 10.0
+    assert timed_out.verdict == "TIMEOUT"
+    assert "0.3s timeout" in timed_out.error
+    assert quick.result(timeout=60).verdict == "PASS"
+    # the killed worker was replaced; the daemon still serves
+    assert server.submit(selftest("pass", "after")).result(timeout=60).verdict == "PASS"
+
+
+def test_malformed_spec_rejects_without_harm(make_server):
+    server = make_server(workers=1)
+    with pytest.raises(Rejection) as excinfo:
+        server.submit({"kind": "refinement", "model": "T", "spec": 7, "impl": 8})
+    assert excinfo.value.code == BAD_REQUEST
+    assert server.submit(selftest("pass", "ok")).result(timeout=60).verdict == "PASS"
+
+
+def test_oversize_spec_rejects_without_harm(make_server):
+    server = make_server(workers=1, max_request_bytes=150)
+    with pytest.raises(Rejection) as excinfo:
+        server.submit(selftest("pass", "big", name="y" * 1000))
+    assert excinfo.value.code == OVERSIZE
+    assert server.submit(selftest("pass", "ok")).result(timeout=60).verdict == "PASS"
+
+
+def test_corrupted_cache_entry_mid_session(make_server, tmp_path):
+    cache_dir = str(tmp_path / "cache")
+    spec = cached_refinement()
+    reference = execute_spec(spec)
+    server = make_server(workers=1, cache_dir=cache_dir)
+    cold = server.submit(spec.to_doc()).result(timeout=120)
+    assert cold.canonical() == reference.canonical()
+    entries = [name for name in os.listdir(cache_dir) if name.endswith(".ltsb")]
+    assert entries, "the first request should persist cache entries"
+    # vandalise every entry while the daemon is live; the next request for
+    # the same check must quarantine, recompile and agree byte-for-byte
+    for name in entries:
+        with open(os.path.join(cache_dir, name), "wb") as handle:
+            handle.write(b"garbage")
+    warm = server.submit(spec.to_doc()).result(timeout=120)
+    assert warm.canonical() == reference.canonical()
+    assert server.submit(selftest("pass", "after")).result(timeout=60).verdict == "PASS"
+
+
+def test_drain_finishes_inflight_work(make_server):
+    server = make_server(workers=1)
+    ticket = server.submit(selftest("sleep:0.5", "inflight"))
+    wait_until(lambda: server.stats()["busy_workers"] == 1)
+    server.close(drain=True)
+    assert server.state == "closed"
+    # the drain waited the sleep out rather than cancelling it
+    assert ticket.result(timeout=1).verdict == "PASS"
+
+
+def test_drain_deadline_force_cancels_stragglers(make_server):
+    server = make_server(workers=1)
+    ticket = server.submit(selftest("sleep:30", "straggler"))
+    wait_until(lambda: server.stats()["busy_workers"] == 1)
+    started = time.perf_counter()
+    server.close(drain=True, timeout=0.5)
+    assert time.perf_counter() - started < 10.0
+    result = ticket.result(timeout=1)
+    assert result.verdict == "CANCELLED"
+    assert result.error == "server closed"
+    assert server.state == "closed"
+
+
+def test_cancel_resolves_queued_work_too(make_server):
+    server = make_server(workers=1)
+    server.submit(selftest("sleep:30", "running"))
+    wait_until(lambda: server.stats()["busy_workers"] == 1)
+    queued = server.submit(selftest("pass", "queued"))
+    server.close(drain=False)
+    # never silence: even never-dispatched work gets a CANCELLED response
+    assert queued.result(timeout=1).verdict == "CANCELLED"
