@@ -36,6 +36,7 @@ __all__ = [
     "check_deadlock",
     "check_divergence",
     "check_determinism",
+    "execute_check",
     "verify_requirement",
     "verify_requirements",
     "extract_model",
@@ -121,6 +122,33 @@ def check_determinism(term: Process, **kwargs) -> CheckResult:
     return check_property(term, "deterministic", **kwargs)
 
 
+def execute_check(
+    spec,
+    *,
+    cache_dir: Optional[str] = None,
+    result_cache_dir: Optional[str] = None,
+    profile: bool = False,
+):
+    """Execute one :class:`~repro.batch.spec.CheckSpec` through the runtime.
+
+    The programmatic spelling of what every entry point (inline batch,
+    ``cspbatch`` workers, the ``cspserve`` daemon) does per check: run the
+    spec through :func:`repro.exec.runtime.execute_cached` and return its
+    canonical :class:`~repro.batch.spec.JobResult`.  *result_cache_dir*
+    names a content-addressed verdict store -- an identical spec already
+    discharged by any mode answers from disk without re-verifying.
+    """
+    # deferred: repro.exec pulls in the batch/worker machinery
+    from .exec.runtime import execute_cached, open_result_cache
+
+    return execute_cached(
+        spec,
+        cache_dir=cache_dir,
+        profile=profile,
+        result_cache=open_result_cache(result_cache_dir),
+    )
+
+
 def verify_requirement(
     req_id: str,
     *,
@@ -145,6 +173,7 @@ def verify_requirements(
     jobs: int = 1,
     timeout: Optional[float] = None,
     cache_dir: Optional[str] = None,
+    result_cache_dir: Optional[str] = None,
     obs: Optional[Tracer] = None,
 ):
     """Discharge several Table III requirements as one batch.
@@ -153,9 +182,10 @@ def verify_requirements(
     ``jobs > 1`` the checks run in isolated worker processes (crash and
     timeout containment per job); *cache_dir* names a shared on-disk
     compilation cache so workers and later sessions reuse each other's
-    compiled session systems.  Returns a :class:`~repro.batch.executor.
-    BatchReport` whose results arrive in requirement order regardless of
-    scheduling.
+    compiled session systems, and *result_cache_dir* a verdict store that
+    answers already-discharged requirements without re-verifying.  Returns
+    a :class:`~repro.batch.executor.BatchReport` whose results arrive in
+    requirement order regardless of scheduling.
     """
     # deferred: repro.batch builds on this module's check functions
     from .batch import requirement_specs, run_batch
@@ -165,6 +195,7 @@ def verify_requirements(
         jobs=jobs,
         timeout=timeout,
         cache_dir=cache_dir,
+        result_cache_dir=result_cache_dir,
         obs=obs,
         inline=jobs <= 1 and cache_dir is None,
     )

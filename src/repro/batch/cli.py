@@ -3,7 +3,8 @@
 Usage::
 
     cspbatch MANIFEST.json [--jobs N] [--timeout S] [--batch-timeout S]
-             [--cache-dir DIR] [--server URL] [--tenant NAME]
+             [--cache-dir DIR] [--result-cache DIR | --no-result-cache]
+             [--server URL] [--tenant NAME]
              [--quiet] [--profile] [--trace-out FILE]
 
 The manifest is a JSON document (``{"format": 1, "checks": [...]}``, schema
@@ -41,9 +42,11 @@ from ..cli_common import (
     EXIT_USAGE,
     EXIT_VIOLATION,
     add_observability_args,
+    add_result_cache_args,
     add_stats_arg,
     emit_stats,
     finish_observability,
+    result_cache_dir_from_args,
     tracer_from_args,
 )
 from .executor import run_batch
@@ -106,6 +109,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="suppress the per-job and summary diagnostics on stderr",
     )
+    add_result_cache_args(parser, "batch verdicts")
     add_stats_arg(parser, "print executor statistics to stderr")
     add_observability_args(parser)
     return parser
@@ -189,6 +193,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             timeout=args.timeout,
             batch_timeout=args.batch_timeout,
             cache_dir=args.cache_dir,
+            result_cache_dir=result_cache_dir_from_args(args),
             obs=tracer if tracer.enabled else None,
             cancel=cancel,
             inline=args.jobs == 0,
@@ -205,6 +210,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         sys.stderr.write(report.summary() + "\n")
     if args.stats:
         emit_stats(sorted(report.counts().items()))
+        if report.result_cache_stats is not None:
+            emit_stats(sorted(report.result_cache_stats.items()))
     finish_observability(args, tracer, report.profile)
     return EXIT_OK if report.ok else EXIT_VIOLATION
 

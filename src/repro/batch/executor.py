@@ -13,9 +13,14 @@ Determinism: results are keyed by the spec's position in the input list and
 reported in that order regardless of completion order, and each worker
 verifies its spec in a fresh pipeline (own environment, alphabet table,
 in-memory cache), so nothing about scheduling can leak into a verdict.
-The optional disk cache (shared, content-addressed, validated on read --
-see :mod:`repro.engine.diskcache`) accelerates workers without coupling
-them: a warm entry reproduces the cold compile's automaton exactly.
+Execution itself lives in :mod:`repro.exec` -- this module only schedules:
+:func:`~repro.exec.runtime.execute_spec` is the sequential reference the
+pool is held to, and two caches accelerate workers without coupling them.
+The LTS disk cache (:mod:`repro.engine.diskcache`) makes a warm compile
+reproduce the cold compile's automaton exactly; the result cache
+(:mod:`repro.exec.resultcache`) memoises whole verdicts -- the parent
+probes it before forking (a hit never costs a process) and workers
+promote fresh outcomes write-through.
 
 Verdict taxonomy per job:
 
@@ -32,19 +37,20 @@ from __future__ import annotations
 
 import multiprocessing
 import multiprocessing.connection
-import os
 import threading
 import time
-import traceback
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
+# the execution core moved to repro.exec; re-exported because this module
+# defined it first and every mode's callers import it from here
+from ..exec.runtime import execute_cached, execute_spec, open_result_cache
+from ..exec.workers import failure_result, oneshot_worker_main
 from ..obs.profile import Profile, merge_profiles, profile_of
 from ..obs.trace import Tracer, ensure_tracer
 from .spec import (
     CANCELLED,
     CheckSpec,
     ERROR,
-    FAIL,
     JobResult,
     PASS,
     TIMEOUT,
@@ -61,6 +67,7 @@ class BatchReport:
         wall_ms: float,
         jobs: int,
         profile: Optional[Profile] = None,
+        result_cache_stats: Optional[Dict[str, int]] = None,
     ) -> None:
         self.results = results
         self.wall_ms = wall_ms
@@ -68,6 +75,10 @@ class BatchReport:
         #: per-job profiles merged by summation (aggregate compute; may
         #: exceed wall_ms under parallelism -- the gap is the speedup)
         self.profile = profile
+        #: the parent-side :meth:`~repro.exec.resultcache.ResultCache.stats`
+        #: snapshot (None when memoisation was off); pooled workers keep
+        #: their own write-through counters, so parent numbers cover probes
+        self.result_cache_stats = result_cache_stats
 
     @property
     def ok(self) -> bool:
@@ -96,159 +107,6 @@ class BatchReport:
         return "BatchReport({})".format(self.summary())
 
 
-# -- in-process execution ----------------------------------------------------
-
-
-def execute_spec(
-    spec: CheckSpec,
-    index: int = 0,
-    *,
-    cache_dir: Optional[str] = None,
-    profile: bool = False,
-) -> JobResult:
-    """Run one spec to completion in this process.
-
-    The sequential reference semantics: the pooled executor must produce
-    byte-identical :meth:`~repro.batch.spec.JobResult.canonical` documents
-    to this function for every spec.  Each call builds a fresh pipeline --
-    fresh environment, alphabet table, and in-memory cache (optionally
-    layered over the shared disk store) -- so specs cannot interfere.
-    """
-    from .. import api
-    from ..engine.cache import CompilationCache
-    from ..engine.diskcache import DiskCache
-
-    started = time.perf_counter()
-    obs = Tracer() if profile else None
-    cache = None
-    if cache_dir is not None:
-        cache = CompilationCache(disk=DiskCache(cache_dir))
-    check = None
-    try:
-        if spec.kind == "selftest":
-            result = _run_selftest(spec, index, started)
-        elif spec.kind == "requirement":
-            from ..ota.requirements import check_requirement
-
-            check = check_requirement(
-                spec.req_id, passes=spec.passes, obs=obs, cache=cache
-            )
-            result = JobResult.of_check_result(index, spec.check_id, check)
-        elif spec.kind == "refinement":
-            check = api.check_refinement(
-                spec.spec,
-                spec.impl,
-                spec.model,
-                env=spec.environment(),
-                name=spec.name,
-                passes=spec.passes,
-                cache=cache,
-                obs=obs,
-                **_budget(spec),
-            )
-            result = JobResult.of_check_result(index, spec.check_id, check)
-        else:
-            check = api.check_property(
-                spec.term,
-                spec.property_name,
-                env=spec.environment(),
-                name=spec.name,
-                passes=spec.passes,
-                cache=cache,
-                obs=obs,
-                **_budget(spec),
-            )
-            result = JobResult.of_check_result(index, spec.check_id, check)
-    except Exception as error:
-        result = JobResult(
-            index,
-            spec.check_id,
-            ERROR,
-            name=spec.name,
-            error="{}: {}".format(type(error).__name__, error),
-        )
-    result.duration_ms = (time.perf_counter() - started) * 1000.0
-    result.worker_pid = os.getpid()
-    if profile and check is not None and check.profile is not None:
-        result.profile = check.profile.as_dict()
-    return result
-
-
-def _budget(spec: CheckSpec) -> Dict[str, Any]:
-    return {} if spec.max_states is None else {"max_states": spec.max_states}
-
-
-def _run_selftest(spec: CheckSpec, index: int, started: float) -> JobResult:
-    """Fault-injection ops: exercise the executor's failure handling."""
-    op = spec.op or ""
-    if op == "pass":
-        return JobResult(index, spec.check_id, PASS, name=spec.name)
-    if op == "fail":
-        return JobResult(
-            index,
-            spec.check_id,
-            FAIL,
-            name=spec.name,
-            counterexample={
-                "kind": "trace",
-                "trace": ["selftest"],
-                "description": "injected failure",
-            },
-        )
-    if op == "raise":
-        raise RuntimeError("injected worker exception")
-    if op.startswith("sleep:"):
-        time.sleep(float(op.split(":", 1)[1]))
-        return JobResult(index, spec.check_id, PASS, name=spec.name)
-    if op.startswith("exit:"):
-        # simulate a hard crash (segfault-alike): no teardown, no result
-        os._exit(int(op.split(":", 1)[1]))
-    raise ValueError("unknown selftest op {!r}".format(op))
-
-
-# -- worker process ----------------------------------------------------------
-
-
-def _worker_main(
-    conn,
-    spec_doc: Dict[str, Any],
-    index: int,
-    cache_dir: Optional[str],
-    want_profile: bool,
-) -> None:
-    """Entry point of one worker process: run one spec, send one document.
-
-    Top-level (not a closure) so it works under the ``spawn`` start method
-    as well as ``fork``.  The spec crosses the boundary as its JSON document
-    -- the same schema as the manifest -- so workers never unpickle code.
-    """
-    try:
-        spec = CheckSpec.from_doc(spec_doc)
-        result = execute_spec(
-            spec, index, cache_dir=cache_dir, profile=want_profile
-        )
-        conn.send(result.to_doc())
-    except BaseException:
-        # last-resort: report rather than die silently (a swallowed worker
-        # death would surface as a generic exit-code ERROR upstream)
-        try:
-            conn.send(
-                JobResult(
-                    index,
-                    spec_doc.get("id"),
-                    ERROR,
-                    error=traceback.format_exc(limit=3),
-                ).to_doc()
-            )
-        except OSError:
-            pass
-    finally:
-        try:
-            conn.close()
-        except OSError:
-            pass
-
-
 class _Running:
     """One in-flight worker: its process, pipe end, and deadline."""
 
@@ -269,6 +127,7 @@ def run_batch(
     timeout: Optional[float] = None,
     batch_timeout: Optional[float] = None,
     cache_dir: Optional[str] = None,
+    result_cache_dir: Optional[str] = None,
     obs: Optional[Tracer] = None,
     cancel: Optional[threading.Event] = None,
     inline: bool = False,
@@ -282,6 +141,10 @@ def run_batch(
     terminated to ``CANCELLED`` too.  *cancel* is an external kill switch
     checked between scheduler steps.  ``inline=True`` (or ``jobs <= 0``)
     runs everything sequentially in this process -- no forks, same results.
+    *result_cache_dir* enables verdict memoisation: the parent answers
+    memoised specs without forking and workers promote fresh ``PASS`` /
+    ``FAIL`` outcomes write-through; canonical result bytes are identical
+    either way.
     """
     tracer = ensure_tracer(obs)
     want_profile = profile or tracer.enabled
@@ -289,10 +152,17 @@ def run_batch(
     batch_deadline = (
         None if batch_timeout is None else started + batch_timeout
     )
+    result_cache = open_result_cache(result_cache_dir)
     with tracer.span("batch", jobs=jobs, specs=len(specs)) as root:
         if inline or jobs <= 0:
             results = _run_inline(
-                specs, cache_dir, want_profile, cancel, batch_deadline
+                specs,
+                cache_dir,
+                want_profile,
+                cancel,
+                batch_deadline,
+                result_cache,
+                tracer,
             )
         else:
             results = _run_pooled(
@@ -303,6 +173,9 @@ def run_batch(
                 cache_dir,
                 want_profile,
                 cancel,
+                result_cache,
+                result_cache_dir,
+                tracer,
             )
         metrics = tracer.metrics
         if tracer.enabled:
@@ -321,13 +194,21 @@ def run_batch(
         ]
         merged = merge_profiles(member_profiles)
     return BatchReport(
-        results, wall_ms=wall_ms, jobs=max(jobs, 1), profile=merged
+        results,
+        wall_ms=wall_ms,
+        jobs=max(jobs, 1),
+        profile=merged,
+        result_cache_stats=None if result_cache is None else result_cache.stats(),
     )
 
 
 def _cancelled_result(index: int, spec: CheckSpec) -> JobResult:
-    return JobResult(
-        index, spec.check_id, CANCELLED, name=spec.name, error="batch cancelled"
+    return failure_result(
+        CANCELLED,
+        "batch cancelled",
+        index=index,
+        check_id=spec.check_id,
+        name=spec.name,
     )
 
 
@@ -337,7 +218,10 @@ def _run_inline(
     want_profile: bool,
     cancel: Optional[threading.Event],
     batch_deadline: Optional[float],
+    result_cache,
+    tracer: Tracer,
 ) -> List[JobResult]:
+    metrics = tracer.metrics if tracer.enabled else None
     results: List[JobResult] = []
     for index, spec in enumerate(specs):
         expired = (
@@ -347,7 +231,14 @@ def _run_inline(
             results.append(_cancelled_result(index, spec))
             continue
         results.append(
-            execute_spec(spec, index, cache_dir=cache_dir, profile=want_profile)
+            execute_cached(
+                spec,
+                index,
+                cache_dir=cache_dir,
+                profile=want_profile,
+                result_cache=result_cache,
+                metrics=metrics,
+            )
         )
     return results
 
@@ -360,18 +251,39 @@ def _run_pooled(
     cache_dir: Optional[str],
     want_profile: bool,
     cancel: Optional[threading.Event],
+    result_cache,
+    result_cache_dir: Optional[str],
+    tracer: Tracer,
 ) -> List[JobResult]:
     context = multiprocessing.get_context()
+    metrics = tracer.metrics if tracer.enabled else None
     results: Dict[int, JobResult] = {}
     pending = list(enumerate(specs))
     pending.reverse()  # pop() from the tail = input order
     running: List[_Running] = []
 
-    def launch(index: int, spec: CheckSpec) -> None:
+    def launch(index: int, spec: CheckSpec) -> bool:
+        """Start a worker for this spec; False when a cache hit answered it."""
+        if result_cache is not None:
+            hit = result_cache.get(spec.to_doc(), index)
+            if hit is not None:
+                if metrics is not None:
+                    metrics.counter("result_cache.hits").inc()
+                results[index] = hit
+                return False
+            if metrics is not None:
+                metrics.counter("result_cache.misses").inc()
         parent_conn, child_conn = context.Pipe(duplex=False)
         process = context.Process(
-            target=_worker_main,
-            args=(child_conn, spec.to_doc(), index, cache_dir, want_profile),
+            target=oneshot_worker_main,
+            args=(
+                child_conn,
+                spec.to_doc(),
+                index,
+                cache_dir,
+                want_profile,
+                result_cache_dir,
+            ),
             daemon=True,
         )
         process.start()
@@ -380,6 +292,7 @@ def _run_pooled(
             None if timeout is None else time.perf_counter() + timeout
         )
         running.append(_Running(index, spec, process, parent_conn, deadline))
+        return True
 
     def reap(slot: _Running, verdict: str, error: str) -> None:
         if slot.process.is_alive():

@@ -46,6 +46,38 @@ def add_observability_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def add_result_cache_args(
+    parser: argparse.ArgumentParser, what: str = "verdicts"
+) -> None:
+    """Install the common ``--result-cache`` / ``--no-result-cache`` pair.
+
+    Memoisation is opt-in: without ``--result-cache DIR`` nothing is read
+    or written.  ``--no-result-cache`` beats ``--result-cache`` when both
+    appear, so wrapper scripts can force one run cold without editing the
+    wrapped command.  Resolve with :func:`result_cache_dir_from_args`.
+    """
+    parser.add_argument(
+        "--result-cache",
+        default=None,
+        metavar="DIR",
+        help="content-addressed cache of completed {} -- identical checks "
+        "in any mode answer without re-verifying (PASS/FAIL only; "
+        "invalidated by engine/format version bumps)".format(what),
+    )
+    parser.add_argument(
+        "--no-result-cache",
+        action="store_true",
+        help="ignore --result-cache and run every check fresh",
+    )
+
+
+def result_cache_dir_from_args(args: argparse.Namespace) -> Optional[str]:
+    """The result-cache directory the flag pair above resolved to, if any."""
+    from .exec.runtime import resolve_result_cache_dir
+
+    return resolve_result_cache_dir(args)
+
+
 def add_seed_arg(parser: argparse.ArgumentParser, default: int = 0) -> None:
     """Install the common ``--seed`` flag (tools ignore it if undialled)."""
     parser.add_argument(

@@ -48,7 +48,6 @@ compiled it.
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
 import sys
@@ -60,8 +59,9 @@ from ..csp.events import AlphabetTable, Event
 from ..csp.kernel import CompactLTS
 from ..csp.lts import LTS
 
-#: bump when the entry layout changes; readers ignore other versions
-DISKCACHE_FORMAT_VERSION = 2
+# the layout version and key digest live with every other structural key in
+# repro.exec.keys; re-exported here because this module defined them first
+from ..exec.keys import DISKCACHE_FORMAT_VERSION, lts_key_digest as key_digest
 
 #: on-disk entry suffix (v2 binary layout); v1 used ``.json``
 ENTRY_SUFFIX = ".ltsb"
@@ -91,19 +91,6 @@ def _encode_event(event: Event) -> List[object]:
 def _decode_event(doc: Sequence[object]) -> Event:
     channel, fields = doc
     return Event(channel, tuple(_decode_field(f) for f in fields))
-
-
-def key_digest(key, passes: Tuple[str, ...] = ()) -> str:
-    """The content address of one cache entry.
-
-    *key* is a :data:`~repro.engine.cache.CacheKey` (nested tuples of
-    strings), *passes* the applied pass names.  ``repr`` of that structure
-    is stable across processes and Python versions for the string/tuple
-    shapes involved, and the full key is stored in the entry and compared
-    on read, so a digest collision degrades to a miss, not to wrong data.
-    """
-    material = repr((DISKCACHE_FORMAT_VERSION, key, tuple(passes)))
-    return hashlib.sha256(material.encode("utf-8")).hexdigest()
 
 
 def _le_bytes(arr: array) -> bytes:

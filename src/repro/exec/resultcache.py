@@ -1,0 +1,229 @@
+"""A content-addressed on-disk store for completed verdicts.
+
+The LTS :class:`~repro.engine.diskcache.DiskCache` persists *compiled
+automata*, so a warm run skips compilation but still re-runs every search.
+This store persists the **outcome**: the canonical
+:class:`~repro.batch.spec.JobResult` bytes of a completed check (verdict,
+counterexample, explored counts -- timings excluded, exactly the
+byte-identity surface the conformance corpus pins), keyed by the same
+structural key the server's dedup table uses.  A later identical request
+in *any* mode -- inline :mod:`repro.api`, ``cspbatch``, a warm or cold
+``cspserve`` -- answers without re-verifying anything.
+
+Design constraints, in order (the same contract as the LTS store):
+
+* **Soundness over availability.**  The digest folds in
+  :data:`~repro.exec.keys.RESULT_FORMAT_VERSION` and
+  :data:`~repro.exec.keys.ENGINE_SEMANTICS_VERSION`, so bumping either
+  orphans every old entry; the pass configuration and state budget live
+  in the spec document and therefore in the key, so a check run under a
+  different pass list is a different entry.  Every read still validates
+  the stored format/engine versions and the full key material: a
+  version-skewed file (only reachable by hand-placing it) counts as
+  *stale*, and a missing field, truncation, garbage or key mismatch
+  counts as *corrupt*; both are quarantined (removed) and served as a
+  miss, never as data.
+* **Determinism only.**  Just ``PASS`` and ``FAIL`` are persisted.
+  ``ERROR`` can be environmental (a dead worker, a full disk), ``TIMEOUT``
+  and ``CANCELLED`` depend on scheduling, and ``selftest`` specs exist to
+  inject faults -- none of those verdicts may outlive the run that
+  produced them.
+* **Label relabelling.**  The stored canonical document carries no ``id``
+  (ids are stripped from the key, so requesters with different labels
+  share one entry); a hit is rehydrated with the *requester's* ``id`` and
+  index, exactly like the server relabels coalesced tickets.
+* **Atomic writes.**  Entries are staged in a temporary file and
+  published with ``os.replace``; concurrent readers see a complete entry
+  or nothing, and two writers racing on one key write identical bytes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any, Dict, Optional
+
+from ..batch.spec import FAIL, JobResult, PASS
+from .keys import (
+    ENGINE_SEMANTICS_VERSION,
+    RESULT_FORMAT_VERSION,
+    result_key_digest,
+    result_key_material,
+)
+
+#: on-disk entry suffix (one JSON document per entry)
+RESULT_SUFFIX = ".jres"
+
+#: the verdicts deterministic enough to outlive their run
+_CACHEABLE_VERDICTS = (PASS, FAIL)
+
+
+def cacheable(spec_doc: Dict[str, Any], verdict: str) -> bool:
+    """May this outcome be persisted and replayed to later requesters?"""
+    return verdict in _CACHEABLE_VERDICTS and spec_doc.get("kind") != "selftest"
+
+
+class ResultCache:
+    """Content-addressed verdict store shared across modes and sessions."""
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        #: uncacheable outcomes offered to :meth:`put` (not failures)
+        self.skipped = 0
+        #: entries rejected by validation and quarantined on read
+        self.quarantined = 0
+        #: entries whose stored format/engine version is skewed (swept on read)
+        self.stale = 0
+
+    # -- paths ---------------------------------------------------------------
+
+    def path_of(self, spec_doc: Dict[str, Any]) -> str:
+        return os.path.join(
+            self.directory, result_key_digest(spec_doc) + RESULT_SUFFIX
+        )
+
+    def __len__(self) -> int:
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return 0
+        return sum(1 for name in names if name.endswith(RESULT_SUFFIX))
+
+    # -- reads ---------------------------------------------------------------
+
+    def get(self, spec_doc: Dict[str, Any], index: int = 0) -> Optional[JobResult]:
+        """The memoised result for *spec_doc*, relabelled for this requester.
+
+        Any defect in the entry -- unreadable file, version skew, stored-key
+        mismatch, non-cacheable verdict, missing fields -- counts as a miss;
+        the offending file is removed so it cannot fail every future read.
+        """
+        path = self.path_of(spec_doc)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                raw = handle.read()
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except OSError:
+            self._quarantine(path)
+            self.misses += 1
+            return None
+        try:
+            entry = json.loads(raw)
+            if not isinstance(entry, dict):
+                raise ValueError("entry is not an object")
+            if (
+                entry.get("format") != RESULT_FORMAT_VERSION
+                or entry.get("engine") != ENGINE_SEMANTICS_VERSION
+            ):
+                self.stale += 1
+                self._remove(path)
+                self.misses += 1
+                return None
+            if entry.get("key") != result_key_material(spec_doc):
+                raise ValueError("stored key mismatch")
+            stored = entry["result"]
+            verdict = stored["verdict"]
+            if verdict not in _CACHEABLE_VERDICTS:
+                raise ValueError("non-cacheable stored verdict")
+            result = JobResult(
+                index,
+                spec_doc.get("id"),
+                verdict,
+                name=stored.get("name"),
+                counterexample=stored.get("counterexample"),
+                states_explored=stored["states_explored"],
+                transitions_explored=stored["transitions_explored"],
+                error=stored.get("error"),
+            )
+        except (KeyError, TypeError, ValueError):
+            self._quarantine(path)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def _quarantine(self, path: str) -> None:
+        self.quarantined += 1
+        self._remove(path)
+
+    @staticmethod
+    def _remove(path: str) -> None:
+        try:
+            os.remove(path)
+        except OSError:
+            pass
+
+    # -- writes --------------------------------------------------------------
+
+    def put(self, spec_doc: Dict[str, Any], result: JobResult) -> bool:
+        """Persist *result* under *spec_doc*'s key; False if not persisted.
+
+        Only deterministic verdicts of real checks are stored (see
+        :func:`cacheable`).  The entry is the canonical result document
+        minus its ``id`` (relabelled per requester on read), staged and
+        published atomically.  Failures are swallowed: the cache is an
+        accelerator, never a correctness dependency.
+        """
+        if not cacheable(spec_doc, result.verdict):
+            self.skipped += 1
+            return False
+        stored = result.canonical()
+        del stored["id"]
+        entry = {
+            "format": RESULT_FORMAT_VERSION,
+            "engine": ENGINE_SEMANTICS_VERSION,
+            "key": result_key_material(spec_doc),
+            "result": stored,
+        }
+        payload = json.dumps(entry, sort_keys=True, separators=(",", ":"))
+        path = self.path_of(spec_doc)
+        try:
+            fd, staged = tempfile.mkstemp(
+                prefix=".staged-", suffix=".tmp", dir=self.directory
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    handle.write(payload)
+                os.replace(staged, path)
+            except BaseException:
+                try:
+                    os.remove(staged)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            return False
+        self.writes += 1
+        return True
+
+    # -- maintenance ---------------------------------------------------------
+
+    def clear(self) -> None:
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return
+        for name in names:
+            if name.endswith((RESULT_SUFFIX, ".tmp")):
+                self._remove(os.path.join(self.directory, name))
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "result_entries": len(self),
+            "result_hits": self.hits,
+            "result_misses": self.misses,
+            "result_writes": self.writes,
+            "result_skipped": self.skipped,
+            "result_quarantined": self.quarantined,
+            "result_stale": self.stale,
+        }
+
+    def __repr__(self) -> str:
+        return "ResultCache({!r}, {} entries)".format(self.directory, len(self))

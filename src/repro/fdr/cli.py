@@ -31,9 +31,11 @@ from ..cli_common import (
     EXIT_USAGE,
     EXIT_VIOLATION,
     add_observability_args,
+    add_result_cache_args,
     add_stats_arg,
     emit_stats,
     finish_observability,
+    result_cache_dir_from_args,
     tracer_from_args,
 )
 from ..cspm.evaluator import load_file
@@ -72,8 +74,106 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "'default' (dead,tau_loop,diamond,sbisim), 'none', or a "
         "comma-separated pass list (e.g. 'tau_loop,sbisim,normal')",
     )
+    add_result_cache_args(parser, "assertion verdicts")
     add_observability_args(parser)
     return parser
+
+
+class _StoredCounterexample:
+    """Replays the stored FDR-style description of a memoised violation."""
+
+    __slots__ = ("_description",)
+
+    def __init__(self, description: str) -> None:
+        self._description = description
+
+    def describe(self) -> str:
+        return self._description
+
+
+def _assertion_doc(model, decl, max_states: int, passes: str):
+    """The content-address of one ``assert`` line, or None if unkeyable.
+
+    The document is the batch-manifest encoding of the assertion -- both
+    process sides (with every reachable named binding), the semantic model
+    or property, the pass configuration and the state budget -- so the key
+    covers everything that can influence the canonical outcome.  A negated
+    assertion adds a ``negated`` marker: its *flipped* verdict is what gets
+    stored, and the plain flavour of the same check must not answer it.
+    Assertions outside the corpus codec (or the manifest schema) return
+    None and simply run fresh every time.
+    """
+    from ..batch.spec import CheckSpec
+    from ..csp.process import Process, ProcessRef
+
+    def collect(term, bindings):
+        # the named equations reachable from *term*, bodies included --
+        # the spec document must be self-contained to be a sound key
+        stack = [term]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, ProcessRef) and node.name not in bindings:
+                if node.name in model.env:
+                    body = model.env.resolve(node.name)
+                    bindings[node.name] = body
+                    stack.append(body)
+            stack.extend(
+                item for item in node._key() if isinstance(item, Process)
+            )
+        return bindings
+
+    try:
+        left = model.eval_process(decl.left, {})
+        if decl.kind in ("T", "F", "FD"):
+            right = model.eval_process(decl.right, {})
+            bindings = collect(right, collect(left, {}))
+            spec = CheckSpec.refinement(
+                left,
+                right,
+                decl.kind,
+                bindings=bindings,
+                passes=passes,
+                max_states=max_states,
+            )
+        else:
+            spec = CheckSpec.property_check(
+                left,
+                decl.kind,
+                bindings=collect(left, {}),
+                passes=passes,
+                max_states=max_states,
+            )
+        doc = spec.to_doc()
+    except Exception:
+        # includes CorpusEncodingError/ManifestError; an evaluation error
+        # re-raises on the fresh path, where it is actually reported
+        return None
+    if decl.negated:
+        doc["negated"] = True
+    return doc
+
+
+def _result_of_stored(stored) -> "CheckResult":
+    """A displayable check result rebuilt from a memoised JobResult.
+
+    ``summary()`` output is byte-identical to the fresh run's because every
+    field it prints -- name, verdict, explored counts, the counterexample's
+    ``describe()`` text -- is part of the stored canonical surface.
+    """
+    from .refine import CheckResult
+
+    counterexample = None
+    if stored.counterexample is not None:
+        counterexample = _StoredCounterexample(
+            stored.counterexample["description"]
+        )
+    return CheckResult(
+        stored.name,
+        stored.verdict == "PASS",
+        counterexample,
+        stored.states_explored,
+        stored.transitions_explored,
+    )
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -96,9 +196,27 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         except KeyError as error:
             sys.stderr.write("error: {}\n".format(error.args[0]))
             return EXIT_USAGE
-        results = model.check_assertions(
-            max_states=int(args.max_states), pipeline=pipeline
-        )
+        result_cache = _open_result_cache(args)
+        results = []
+        for decl in model.assertions:
+            doc = None
+            if result_cache is not None:
+                doc = _assertion_doc(
+                    model, decl, int(args.max_states), args.compress
+                )
+            if doc is not None:
+                stored = result_cache.get(doc)
+                if stored is not None:
+                    results.append(_result_of_stored(stored))
+                    continue
+            result = model.check_assertion(
+                decl, int(args.max_states), pipeline
+            )
+            results.append(result)
+            if doc is not None:
+                from ..batch.spec import JobResult
+
+                result_cache.put(doc, JobResult.of_check_result(0, None, result))
     failed = 0
     for result in results:
         if not result.passed:
@@ -110,6 +228,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     if args.stats:
         emit_stats(sorted(pipeline.stats().items()))
+        if result_cache is not None:
+            emit_stats(sorted(result_cache.stats().items()))
         for result in results:
             for stat in result.pass_stats:
                 sys.stderr.write(
@@ -117,6 +237,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 )
     finish_observability(args, tracer)
     return EXIT_VIOLATION if failed else EXIT_OK
+
+
+def _open_result_cache(args):
+    from ..exec.runtime import open_result_cache
+
+    return open_result_cache(result_cache_dir_from_args(args))
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -22,8 +22,10 @@ from ..cli_common import (
     EXIT_USAGE,
     EXIT_VIOLATION,
     add_observability_args,
+    add_result_cache_args,
     add_seed_arg,
     finish_observability,
+    result_cache_dir_from_args,
     tracer_from_args,
 )
 from .oracles import ORACLES, get_oracles
@@ -74,6 +76,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--quiet", action="store_true", help="only print the final summary"
     )
+    add_result_cache_args(parser, "verdicts for the result_cache oracle")
     add_observability_args(parser)
     return parser
 
@@ -121,6 +124,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     except KeyError as error:
         print(str(error), file=sys.stderr)
         return EXIT_USAGE
+    if getattr(args, "no_result_cache", False):
+        # cold-run escape hatch: drop the memoisation oracle entirely
+        oracles = [o for o in oracles if o.name != "result_cache"]
+        if not oracles:
+            print(
+                "cspfuzz: --no-result-cache left no oracles to run",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
+    else:
+        from . import oracles as oracle_registry
+
+        oracle_registry.RESULT_CACHE_DIR = result_cache_dir_from_args(args)
     progress = None if args.quiet else lambda line: print(line, flush=True)
     tracer = tracer_from_args(args)
     with tracer.span("run", tool="cspfuzz", seed=args.seed):

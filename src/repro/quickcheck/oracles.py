@@ -22,6 +22,7 @@ kernel      the flat-array kernel diverges from the pre-refactor semantics
 cache       a compilation-cache hit changes a verdict or counterexample
 compression a semantic pass changes a verdict, counterexample or deadlock
 batch       the batch wire format or executor changes a verdict or trace
+result_cache a memoised verdict differs from a fresh execution's bytes
 roundtrip   emitting CSPm and re-parsing changes the trace semantics
 extractor   the CAPL interpreter exhibits a trace the extracted model lacks
 ========== ==============================================================
@@ -440,6 +441,63 @@ def _execute_roundtripped(check_spec):
     return execute_spec(CheckSpec.from_doc(check_spec.to_doc()))
 
 
+# -- oracle: result cache vs fresh execution ----------------------------------------
+
+#: directory the result_cache oracle persists verdicts in (None = a fresh
+#: temporary directory per generated input); ``cspfuzz --result-cache DIR``
+#: points it at a long-lived store so the oracle also cross-checks entries
+#: written by earlier campaigns and other tools
+RESULT_CACHE_DIR: Optional[str] = None
+
+
+def check_result_cache(value) -> None:
+    """Verdict memoisation never changes the canonical result bytes.
+
+    Runs the same check three ways -- fresh (no cache), cold through the
+    memoised path (miss + write-through), and warm (served from the store)
+    -- and requires byte-identical canonical documents from all three,
+    with the warm pass being a genuine cache hit.
+    """
+    import tempfile
+
+    from ..batch.spec import CheckSpec
+    from ..exec.resultcache import ResultCache
+    from ..exec.runtime import execute_cached, execute_spec
+
+    spec, impl, model = value
+    if model not in ("T", "F"):
+        raise Discard
+
+    def run(directory: str) -> None:
+        check_spec = CheckSpec.refinement(spec, impl, model)
+        fresh = execute_spec(check_spec)
+        cache = ResultCache(directory)
+        cold = execute_cached(check_spec, result_cache=cache)
+        hits_after_cold = cache.hits
+        warm = execute_cached(check_spec, result_cache=cache)
+        if cache.hits == hits_after_cold:
+            raise OracleViolation(
+                "memoised re-execution of {!r} did not hit the result "
+                "cache (stats: {})".format(check_spec, cache.stats())
+            )
+        lines = {
+            "fresh": fresh.canonical_line(),
+            "cold": cold.canonical_line(),
+            "warm": warm.canonical_line(),
+        }
+        if len(set(lines.values())) != 1:
+            raise OracleViolation(
+                "result cache changed the canonical bytes of {!r}: "
+                "{}".format(check_spec, lines)
+            )
+
+    if RESULT_CACHE_DIR is not None:
+        run(RESULT_CACHE_DIR)
+    else:
+        with tempfile.TemporaryDirectory(prefix="qc-resultcache-") as tmp:
+            run(tmp)
+
+
 # -- oracle: CSPm emit/parse round-trip ---------------------------------------------
 
 _SEND = Channel("send", ["reqSw", "rptSw"])
@@ -728,6 +786,15 @@ _register(
         "repro.batch.spec, repro.batch.executor",
         _batch_input(),
         check_batch,
+    )
+)
+_register(
+    Oracle(
+        "result_cache",
+        "memoised verdicts are byte-identical to fresh executions",
+        "repro.exec.resultcache, repro.exec.runtime",
+        _batch_input(),
+        check_result_cache,
     )
 )
 _register(

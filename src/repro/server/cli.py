@@ -4,7 +4,8 @@ Usage::
 
     cspserve [--stdio | --http HOST:PORT] [--workers N] [--queue-limit N]
              [--quota N] [--default-timeout S] [--max-timeout S]
-             [--max-request-bytes N] [--cache-dir DIR] [--drain-timeout S]
+             [--max-request-bytes N] [--cache-dir DIR]
+             [--result-cache DIR | --no-result-cache] [--drain-timeout S]
              [--quiet] [--stats] [--profile] [--trace-out FILE]
 
 Two transports over one core (:mod:`repro.server.core`):
@@ -33,10 +34,12 @@ from ..cli_common import (
     EXIT_OK,
     EXIT_USAGE,
     add_observability_args,
+    add_result_cache_args,
     add_stats_arg,
     emit_stats,
     finish_observability,
     parse_endpoint,
+    result_cache_dir_from_args,
     tracer_from_args,
 )
 from .core import VerificationServer
@@ -114,6 +117,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="content-addressed on-disk compilation cache shared by workers",
     )
+    add_result_cache_args(parser, "server verdicts")
     parser.add_argument(
         "--drain-timeout",
         type=float,
@@ -160,6 +164,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         queue_limit=args.queue_limit,
         quota=args.quota,
         cache_dir=args.cache_dir,
+        result_cache_dir=result_cache_dir_from_args(args),
         default_timeout=args.default_timeout,
         max_timeout=args.max_timeout,
         max_request_bytes=args.max_request_bytes,
@@ -188,7 +193,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         finally:
             server.close(drain=True, timeout=args.drain_timeout)
     if args.stats:
-        emit_stats(sorted(server.stats()["metrics"].items()))
+        snapshot = server.stats()
+        emit_stats(sorted(snapshot["metrics"].items()))
+        if snapshot["result_cache"] is not None:
+            emit_stats(sorted(snapshot["result_cache"].items()))
     finish_observability(args, tracer, server.merged_profile())
     return EXIT_OK
 

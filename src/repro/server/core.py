@@ -7,7 +7,7 @@ requests: the interpreter, the imported toolchain and the shared
 the first request for a given model pays compilation and nobody pays
 import cost twice.  Everything a worker is asked to do is still a
 :class:`~repro.batch.spec.CheckSpec` document run through
-:func:`~repro.batch.executor.execute_spec` -- the sequential reference
+:func:`~repro.exec.runtime.execute_spec` -- the sequential reference
 semantics -- so a daemon-served verdict is byte-identical (canonically) to
 an inline ``cspbatch`` run of the same spec.
 
@@ -17,11 +17,17 @@ Scheduling properties, in order of importance:
   or exceeds its deadline poisons nothing: the worker is terminated and
   respawned, the request alone resolves ``ERROR``/``TIMEOUT``, and the
   daemon keeps serving.
-* **Dedup.**  In-flight requests are keyed by
-  :func:`~repro.server.protocol.structural_key`; an identical check
-  arriving while one is queued or running attaches to it and shares the
-  single execution, with each requester's response relabelled to its own
-  ``id``/``index``.  Coalesced requests consume no queue slot.
+* **Dedup and memoisation.**  In-flight requests are keyed by
+  :func:`~repro.exec.keys.structural_key`; an identical check arriving
+  while one is queued or running attaches to it and shares the single
+  execution, with each requester's response relabelled to its own
+  ``id``/``index``.  Coalesced requests consume no queue slot.  With a
+  result-cache directory configured, the in-flight table becomes the first
+  tier of a two-tier cache: completed ``PASS``/``FAIL`` verdicts persist
+  in a :class:`~repro.exec.resultcache.ResultCache` (written through by
+  the workers), and a later identical request -- this run or any future
+  one, daemon or batch -- answers at submit time without a queue slot, a
+  worker, or a quota charge.
 * **Backpressure.**  The pending queue is bounded; a fail-fast submission
   against a full queue is rejected with a retryable ``queue_full`` (HTTP
   429), while batch submissions may opt to block until capacity frees.
@@ -49,8 +55,9 @@ import time
 from collections import deque
 from typing import Any, Dict, List, Optional
 
-from ..batch.executor import execute_spec
 from ..batch.spec import CANCELLED, CheckSpec, ERROR, JobResult, ManifestError, TIMEOUT
+from ..exec.runtime import open_result_cache
+from ..exec.workers import failure_result, persistent_worker_main
 from ..obs.metrics import Metrics
 from ..obs.profile import Profile, merge_profiles
 from ..obs.trace import Tracer, ensure_tracer
@@ -138,11 +145,16 @@ class _Worker:
 
     __slots__ = ("process", "conn", "execution", "deadline")
 
-    def __init__(self, context, cache_dir: Optional[str]) -> None:
+    def __init__(
+        self,
+        context,
+        cache_dir: Optional[str],
+        result_cache_dir: Optional[str] = None,
+    ) -> None:
         parent_conn, child_conn = context.Pipe(duplex=True)
         self.process = context.Process(
-            target=_server_worker_main,
-            args=(child_conn, cache_dir),
+            target=persistent_worker_main,
+            args=(child_conn, cache_dir, result_cache_dir),
             daemon=True,
         )
         self.process.start()
@@ -180,48 +192,6 @@ class _Worker:
             pass
 
 
-def _server_worker_main(conn, cache_dir: Optional[str]) -> None:
-    """One warm worker: loop over (spec document, profile?) requests.
-
-    Top-level so it works under ``spawn`` as well as ``fork``.  The loop
-    reuses :func:`~repro.batch.executor.execute_spec` -- the sequential
-    reference -- per request; the process itself (imports, interpreter
-    state) and the disk cache directory are what stay warm between
-    requests.  ``None`` is the shutdown sentinel.
-    """
-    try:
-        while True:
-            try:
-                message = conn.recv()
-            except (EOFError, OSError):
-                break
-            if message is None:
-                break
-            spec_doc, want_profile = message
-            try:
-                spec = CheckSpec.from_doc(spec_doc)
-                result = execute_spec(
-                    spec, 0, cache_dir=cache_dir, profile=want_profile
-                )
-            except ManifestError as error:
-                result = JobResult(
-                    0,
-                    spec_doc.get("id"),
-                    ERROR,
-                    name=spec_doc.get("name"),
-                    error="undecodable spec: {}".format(error),
-                )
-            try:
-                conn.send(result.to_doc())
-            except (BrokenPipeError, OSError):
-                break
-    finally:
-        try:
-            conn.close()
-        except OSError:
-            pass
-
-
 class VerificationServer:
     """The daemon core shared by the stdio and HTTP frontends."""
 
@@ -232,6 +202,7 @@ class VerificationServer:
         queue_limit: int = 64,
         quota: Optional[int] = None,
         cache_dir: Optional[str] = None,
+        result_cache_dir: Optional[str] = None,
         default_timeout: Optional[float] = None,
         max_timeout: Optional[float] = None,
         max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
@@ -247,6 +218,10 @@ class VerificationServer:
         self.queue_limit = queue_limit
         self.quota = quota
         self.cache_dir = cache_dir
+        self.result_cache_dir = result_cache_dir
+        #: the persisted-verdict tier; the in-flight dedup table above it is
+        #: tier one of the same cache (same key, lifetime of one execution)
+        self.result_cache = open_result_cache(result_cache_dir)
         self.default_timeout = default_timeout
         self.max_timeout = max_timeout
         self.max_request_bytes = max_request_bytes
@@ -277,7 +252,8 @@ class VerificationServer:
                 raise RuntimeError("server already started")
             # fork the pool before the scheduler thread exists: clean children
             self._pool = [
-                _Worker(self._context, self.cache_dir) for _ in range(self.workers)
+                _Worker(self._context, self.cache_dir, self.result_cache_dir)
+                for _ in range(self.workers)
             ]
             self._state = "running"
         self._thread = threading.Thread(
@@ -373,7 +349,30 @@ class VerificationServer:
         stripped = strip_label(spec_doc)
         key = structural_key(spec_doc)
         ticket = Ticket(request_id, spec_doc.get("id"), spec.name, index, tenant)
+        # probe the persisted-verdict tier before the lock (disk I/O): a
+        # memoised check answers without a queue slot, a worker, or a
+        # charge against the tenant's quota
+        memoised = (
+            None
+            if self.result_cache is None
+            else self.result_cache.get(spec_doc, index)
+        )
         with self._cond:
+            if memoised is not None:
+                if self._state != "running":
+                    raise self._reject(
+                        DRAINING, "server is {}".format(self._state), locked=True
+                    )
+                self.metrics.counter("server.requests").inc()
+                self.metrics.counter("server.result_hits").inc()
+                self.metrics.counter("result_cache.hits").inc()
+                doc = memoised.to_doc()
+                if ticket.name is not None:
+                    doc["name"] = ticket.name
+                ticket.resolve(result_response(ticket.request_id, doc))
+                return ticket
+            if self.result_cache is not None:
+                self.metrics.counter("result_cache.misses").inc()
             while True:
                 if self._state != "running":
                     raise self._reject(
@@ -438,6 +437,11 @@ class VerificationServer:
                 "tenants": dict(sorted(self._tenant_load.items())),
                 "quota": self.quota,
                 "queue_limit": self.queue_limit,
+                "result_cache": (
+                    None
+                    if self.result_cache is None
+                    else self.result_cache.stats()
+                ),
                 "metrics": self.metrics.snapshot(),
             }
 
@@ -562,7 +566,7 @@ class VerificationServer:
         self, execution: Optional[_Execution], verdict: str, error: str
     ) -> Dict[str, Any]:
         name = execution.doc.get("name") if execution is not None else None
-        return JobResult(0, None, verdict, name=name, error=error).to_doc()
+        return failure_result(verdict, error, name=name).to_doc()
 
     def _finish_locked(self, worker: _Worker, result_doc: Dict[str, Any]) -> None:
         execution = worker.execution
@@ -609,7 +613,9 @@ class VerificationServer:
             pass
         self.metrics.counter("server.worker_restarts").inc()
         if self._state != "closed":
-            self._pool.append(_Worker(self._context, self.cache_dir))
+            self._pool.append(
+                _Worker(self._context, self.cache_dir, self.result_cache_dir)
+            )
 
     def _cancel_everything_locked(self) -> None:
         cancelled = self._failure_doc(None, CANCELLED, "server closed")

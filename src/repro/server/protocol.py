@@ -25,7 +25,6 @@ would produce byte-identical canonical results coalesce.
 
 from __future__ import annotations
 
-import hashlib
 import json
 from typing import Any, Dict, Optional, Tuple
 
@@ -183,20 +182,8 @@ def response_line(doc: Dict[str, Any]) -> str:
 
 # -- dedup keys ---------------------------------------------------------------
 
-
-def strip_label(spec_doc: Dict[str, Any]) -> Dict[str, Any]:
-    """The spec document minus its ``id`` -- the identity dedup ignores."""
-    return {key: value for key, value in spec_doc.items() if key != "id"}
-
-
-def structural_key(spec_doc: Dict[str, Any]) -> str:
-    """SHA-256 of the label-stripped canonical encoding of one spec.
-
-    Identical in-flight checks from any number of clients map to the same
-    key and coalesce onto one compile/verify; the ``name`` field stays in
-    the material because it surfaces in canonical result documents.
-    """
-    material = json.dumps(
-        strip_label(spec_doc), sort_keys=True, separators=(",", ":")
-    )
-    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+# Defined here first; the computation now lives in repro.exec.keys so the
+# in-flight dedup table, the LTS disk cache and the result cache all share
+# one identity.  Re-exported because the server API (and its clients'
+# tests) import them from the protocol module.
+from ..exec.keys import strip_label, structural_key  # noqa: E402,F401

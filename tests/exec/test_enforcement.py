@@ -1,0 +1,75 @@
+"""The refactor's contract, enforced: batch and server no longer carry
+their own spec-execution or key-computation code -- both import it from
+:mod:`repro.exec`.  These tests are the tripwire against the copies
+quietly growing back."""
+
+import repro.batch.executor as batch_executor
+import repro.engine.diskcache as diskcache
+import repro.exec.keys as keys
+import repro.exec.runtime as runtime
+import repro.exec.workers as workers
+import repro.server.core as server_core
+import repro.server.protocol as protocol
+
+
+def test_batch_executor_delegates_execution():
+    assert batch_executor.execute_spec is runtime.execute_spec
+
+
+def test_batch_executor_owns_no_execution_helpers():
+    for helper in ("_run_selftest", "_budget", "_worker_main"):
+        assert not hasattr(batch_executor, helper), helper
+
+
+def test_server_core_owns_no_worker_main():
+    assert not hasattr(server_core, "_server_worker_main")
+    assert server_core.persistent_worker_main is workers.persistent_worker_main
+    assert server_core.failure_result is workers.failure_result
+
+
+def test_server_protocol_delegates_keys():
+    assert protocol.structural_key is keys.structural_key
+    assert protocol.strip_label is keys.strip_label
+
+
+def test_diskcache_delegates_keys():
+    assert diskcache.key_digest is keys.lts_key_digest
+    assert diskcache.DISKCACHE_FORMAT_VERSION is keys.DISKCACHE_FORMAT_VERSION
+
+
+def test_exec_facade_lazily_exposes_the_runtime():
+    import repro.exec as exec_pkg
+
+    assert exec_pkg.execute_spec is runtime.execute_spec
+    assert exec_pkg.execute_cached is runtime.execute_cached
+    assert exec_pkg.structural_key is keys.structural_key
+    assert "ResultCache" in dir(exec_pkg)
+
+
+def test_exec_facade_rejects_unknown_names():
+    import repro.exec as exec_pkg
+
+    try:
+        exec_pkg.no_such_symbol
+    except AttributeError:
+        pass
+    else:  # pragma: no cover
+        raise AssertionError("expected AttributeError")
+
+
+def test_api_execute_check_routes_through_the_runtime(tmp_path):
+    from repro import api
+    from repro.batch.spec import CheckSpec
+    from repro.csp import Event, Prefix, STOP
+
+    term = Prefix(Event("a"), STOP)
+    spec = CheckSpec.refinement(term, term, "T")
+    direct = runtime.execute_spec(spec)
+    cache_dir = str(tmp_path / "rc")
+    cold = api.execute_check(spec, result_cache_dir=cache_dir)
+    warm = api.execute_check(spec, result_cache_dir=cache_dir)
+    assert (
+        direct.canonical_line()
+        == cold.canonical_line()
+        == warm.canonical_line()
+    )

@@ -25,6 +25,7 @@ EXPECTED_ORACLES = {
     "cache",
     "compression",
     "batch",
+    "result_cache",
     "roundtrip",
     "extractor",
 }
