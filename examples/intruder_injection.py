@@ -15,7 +15,7 @@ MAC-plus-nonce stops both.
 Run:  python examples/intruder_injection.py
 """
 
-from repro.fdr import trace_refinement
+from repro import api
 from repro.ota import build_secured_system, injective_agreement_check
 from repro.security.properties import never_occurs
 
@@ -29,9 +29,9 @@ def main() -> None:
         integrity_spec = never_occurs(
             secured.forbidden_applies, secured.alphabet, secured.env
         )
-        integrity = trace_refinement(
-            integrity_spec, secured.attacked_system, secured.env,
-            "integrity [{}]".format(protection),
+        integrity = api.check_refinement(
+            integrity_spec, secured.attacked_system, "T",
+            env=secured.env, name="integrity [{}]".format(protection),
         )
         agreement = injective_agreement_check(build_secured_system(protection))
         print(

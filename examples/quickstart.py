@@ -12,7 +12,7 @@ The 60-second version of the paper's workflow (Fig. 1):
 Run:  python examples/quickstart.py
 """
 
-from repro.fdr import trace_refinement
+from repro import api
 from repro.security.properties import request_response
 from repro.translator import ModelExtractor
 
@@ -68,8 +68,9 @@ def check(capl_source: str, label: str) -> None:
     sp02 = request_response(send("reqSw"), rec("rptSw"), model.env, "SP02")
 
     # step 4: refinement check (the FDR stage)
-    result = trace_refinement(
-        sp02, model.process("ECU"), model.env, "SP02 [T= {}".format(label)
+    result = api.check_refinement(
+        sp02, model.process("ECU"), "T",
+        env=model.env, name="SP02 [T= {}".format(label),
     )
 
     # step 5: verdict and counterexample

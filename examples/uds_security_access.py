@@ -27,7 +27,7 @@ from repro.csp import (
     external_choice,
     ref,
 )
-from repro.fdr import trace_refinement
+from repro import api
 from repro.security import IntruderBuilder
 from repro.security.crypto import key, mac
 
@@ -158,11 +158,12 @@ def analyse(weak_seed: bool):
         label + "_2",
         Prefix(unlock_event, ref(label + "_1")),
     )
-    return trace_refinement(
+    return api.check_refinement(
         ref(label + "_0"),
         projected,
-        env,
-        "each legitimate key unlocks at most once [{}]".format(
+        "T",
+        env=env,
+        name="each legitimate key unlocks at most once [{}]".format(
             "weak seeds" if weak_seed else "fresh seeds"
         ),
     )

@@ -11,7 +11,7 @@ Run:  python examples/update_server_chain.py
 """
 
 from repro.csp import Alphabet, Hiding, Interrupt, Prefix, STOP, compile_lts, event, ref
-from repro.fdr import deadlock_free, trace_refinement
+from repro import api
 from repro.ota import build_extended_system
 from repro.security.properties import precedes, request_response
 
@@ -43,19 +43,19 @@ def main() -> None:
     assert lts.walk(round_trip) is not None
 
     print()
-    print(trace_refinement(system.spec, system.system, env, "E2E_SPEC [T= XSYSTEM").summary())
-    print(deadlock_free(system.system, env).summary())
+    print(api.check_refinement(system.spec, system.system, "T", env=env, name="E2E_SPEC [T= XSYSTEM").summary())
+    print(api.check_deadlock(system.system, env=env).summary())
 
     # the Sec. V property still holds on the vehicle-side projection
     keep = Alphabet.of(system.send("reqSw"), system.rec("rptSw"))
     everything = system.srv.alphabet() | Alphabet.from_channels(system.send, system.rec)
     projected = Hiding(system.system, everything - keep)
     sp02 = request_response(system.send("reqSw"), system.rec("rptSw"), env, "SP02X")
-    print(trace_refinement(sp02, projected, env, "SP02 [T= XSYSTEM|vehicle").summary())
+    print(api.check_refinement(sp02, projected, "T", env=env, name="SP02 [T= XSYSTEM|vehicle").summary())
 
     # authorisation chain: no ECU apply without a server-pushed update
     auth = precedes(system.srv("update"), system.send("reqApp"), everything, env, "AUTH")
-    print(trace_refinement(auth, system.system, env, "server-authorised updates").summary())
+    print(api.check_refinement(auth, system.system, "T", env=env, name="server-authorised updates").summary())
 
     print()
     print("--- attacker interrupt on the server link " + "-" * 24)
@@ -64,7 +64,7 @@ def main() -> None:
     jam = event("jam")
     attacked = Interrupt(system.system, Prefix(jam, STOP))
     env.bind("JAMMED", attacked)
-    print(deadlock_free(ref("JAMMED"), env).summary())
+    print(api.check_deadlock(ref("JAMMED"), env=env).summary())
     print("(the jam event deadlocks the chain: the availability cost of an")
     print(" unprotected server link, found automatically by the checker)")
 

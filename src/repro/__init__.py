@@ -20,6 +20,7 @@ The package provides every stage of the paper's Fig. 1 toolchain:
 * :mod:`repro.security`   -- Dolev-Yao intruders, attack trees, properties
 * :mod:`repro.testgen`    -- model-based test generation + conformance runs
 * :mod:`repro.ota`        -- the X.1373 software-update case study
+* :mod:`repro.rv`         -- offline runtime verification of CAN logs
 * :mod:`repro.server`     -- the ``cspserve`` daemon (warm workers, dedup)
 
 Quickstart -- the :mod:`repro.api` facade is the supported entry point::
@@ -48,26 +49,34 @@ from . import (
     fdr,
     obs,
     ota,
+    rv,
     security,
     server,
     testgen,
     translator,
 )
 from .api import (
+    API_VERSION,
+    Verdict,
     check_deadlock,
     check_determinism,
     check_divergence,
     check_property,
     check_refinement,
+    check_trace,
+    execute_check,
     extract_model,
     server_client,
     verify_requirement,
     verify_requirements,
+    verify_traces,
 )
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "API_VERSION",
+    "Verdict",
     "api",
     "batch",
     "canbus",
@@ -78,13 +87,16 @@ __all__ = [
     "check_divergence",
     "check_property",
     "check_refinement",
+    "check_trace",
     "csp",
     "cspm",
     "engine",
+    "execute_check",
     "extract_model",
     "fdr",
     "obs",
     "ota",
+    "rv",
     "security",
     "server",
     "server_client",
@@ -92,5 +104,6 @@ __all__ = [
     "translator",
     "verify_requirement",
     "verify_requirements",
+    "verify_traces",
     "__version__",
 ]

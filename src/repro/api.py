@@ -1,26 +1,39 @@
-"""repro.api -- the one-import facade over the verification toolchain.
+"""repro.api -- the v1 public surface of the verification toolchain.
 
-The paper's workflow (Fig. 1) has three programmatic entry points: check a
-refinement, check a behavioural property, and extract a CSPm model from ECU
-source.  This module is exactly that surface::
+The paper's workflow (Fig. 1) plus its deployment-side counterpart give the
+toolchain five programmatic jobs: check a refinement, check a behavioural
+property, extract a CSPm model from ECU source, execute wire-format checks
+through the shared runtime, and verify logged traffic against the models.
+This module is exactly that surface, versioned as :data:`API_VERSION`::
 
     from repro import api
 
-    result = api.check_refinement(spec, impl, model="T", env=env)
+    result = api.check_refinement(spec, impl, model="T", env=env)   # design
     result = api.check_deadlock(system, env=env)
-    result = api.verify_requirement("R02")        # paper Table III
-    extraction = api.extract_model(capl_source)   # CAPL -> CSPm
+    result = api.verify_requirement("R02")          # paper Table III
+    extraction = api.extract_model(capl_source)     # CAPL -> CSPm
+    result = api.check_trace(spec, events, env=env) # one logged trace
+    verdicts = api.verify_traces("fleet/manifest.json", jobs=4)
 
-Every check routes through one :class:`~repro.engine.pipeline.
-VerificationPipeline` built the same way, so facade calls and hand-built
-pipelines produce identical :class:`~repro.fdr.refine.CheckResult` objects
--- the facade adds no semantics, only defaults.  Pass ``obs=Tracer()`` to
-any check to get a per-stage :class:`~repro.obs.Profile` on the result.
+Two result shapes, by layer:
+
+* the *check* functions return :class:`~repro.fdr.refine.CheckResult` --
+  the engine-level object with the live counterexample and pass/profile
+  provenance; every one routes through one :class:`~repro.engine.pipeline.
+  VerificationPipeline` built the same way, so facade calls and hand-built
+  pipelines produce identical results (the facade adds no semantics, only
+  defaults);
+* the *execute/verify* entry points return :class:`Verdict` (lists of it),
+  the canonical wire-shaped outcome whose :meth:`Verdict.to_json` bytes are
+  identical across inline, pooled, daemon and cache-warm execution.
+
+Pass ``obs=Tracer()`` to any check to get a per-stage
+:class:`~repro.obs.Profile` on the result.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Dict, List, Optional, Union
 
 from .csp.lts import DEFAULT_STATE_LIMIT
 from .csp.process import Environment, Process
@@ -30,18 +43,133 @@ from .fdr.refine import CheckResult
 from .obs.trace import Tracer
 from .passes.base import PassSpec
 
+#: version of the public surface declared by ``__all__`` below; bumped only
+#: when a documented entry point or :class:`Verdict`'s canonical JSON changes
+#: incompatibly
+API_VERSION = 1
+
 __all__ = [
+    "API_VERSION",
+    "Verdict",
     "check_refinement",
     "check_property",
     "check_deadlock",
     "check_divergence",
     "check_determinism",
+    "check_trace",
     "execute_check",
     "verify_requirement",
     "verify_requirements",
+    "verify_traces",
     "extract_model",
     "server_client",
 ]
+
+
+class Verdict:
+    """The canonical outcome of one executed check.
+
+    A thin, stable view over the runtime's wire-format result: the v1 API
+    returns this one type from every execution entry point regardless of
+    mode (inline, worker pool, ``cspserve``, result-cache hit).  The
+    canonical fields -- ``check_id``, ``verdict``, ``name``,
+    ``counterexample``, ``states_explored``, ``transitions_explored``,
+    ``error`` -- are run-invariant: :meth:`to_json` produces byte-identical
+    lines for the same check in every mode, which is what the conformance
+    corpus and CI ``cmp`` gates pin.  Run-varying diagnostics
+    (``duration_ms``, ``worker_pid``, ``profile``) are carried but excluded
+    from the canonical surface.
+    """
+
+    __slots__ = ("_job",)
+
+    def __init__(self, job) -> None:
+        self._job = job
+
+    @classmethod
+    def from_job_result(cls, job) -> "Verdict":
+        """Wrap a :class:`~repro.batch.spec.JobResult` from the runtime."""
+        return cls(job)
+
+    # -- canonical fields ----------------------------------------------------
+
+    @property
+    def check_id(self) -> Optional[str]:
+        return self._job.check_id
+
+    @property
+    def verdict(self) -> str:
+        """``"PASS"``, ``"FAIL"``, ``"ERROR"``, ``"TIMEOUT"`` or ``"CANCELLED"``."""
+        return self._job.verdict
+
+    @property
+    def name(self) -> Optional[str]:
+        return self._job.name
+
+    @property
+    def counterexample(self) -> Optional[Dict[str, Any]]:
+        """The violation document (kind, trace, description, extras), if any."""
+        return self._job.counterexample
+
+    @property
+    def states_explored(self) -> int:
+        return self._job.states_explored
+
+    @property
+    def transitions_explored(self) -> int:
+        return self._job.transitions_explored
+
+    @property
+    def error(self) -> Optional[str]:
+        return self._job.error
+
+    @property
+    def passed(self) -> bool:
+        return self._job.passed
+
+    # -- run-varying diagnostics ---------------------------------------------
+
+    @property
+    def index(self) -> int:
+        return self._job.index
+
+    @property
+    def duration_ms(self) -> float:
+        return self._job.duration_ms
+
+    @property
+    def worker_pid(self) -> Optional[int]:
+        return self._job.worker_pid
+
+    @property
+    def profile(self) -> Optional[Dict[str, Any]]:
+        return self._job.profile
+
+    @property
+    def job_result(self):
+        """The underlying :class:`~repro.batch.spec.JobResult`."""
+        return self._job
+
+    # -- canonical JSON ------------------------------------------------------
+
+    def canonical(self) -> Dict[str, Any]:
+        """The run-invariant document (see the class docstring)."""
+        return self._job.canonical()
+
+    def canonical_line(self) -> str:
+        """:meth:`canonical` as one sorted-key JSON line (no newline)."""
+        return self._job.canonical_line()
+
+    def to_json(self) -> str:
+        """The documented stable serialisation: alias of :meth:`canonical_line`."""
+        return self.canonical_line()
+
+    def summary(self) -> str:
+        """A one-line human-readable account of the outcome."""
+        return self._job.summary()
+
+    def __repr__(self) -> str:
+        return "Verdict({!r}, {!r})".format(self.check_id, self.verdict)
 
 
 def _pipeline(
@@ -81,9 +209,9 @@ def check_refinement(
     """Discharge ``spec [model= impl`` (*model* is ``"T"``, ``"F"`` or ``"FD"``).
 
     The single entry point behind every refinement check in the repo: the
-    CSPm ``assert`` evaluator, the requirement checks of Table III, and the
-    deprecated one-shot wrappers of :mod:`repro.fdr.assertions` all come
-    through here (directly or via a shared pipeline built the same way).
+    CSPm ``assert`` evaluator and the requirement checks of Table III all
+    come through here (directly or via a shared pipeline built the same
+    way).
     """
     pipeline = _pipeline(env, max_states, passes, on_the_fly, cache, table, obs)
     return pipeline.refinement(spec, impl, model, name, max_states)
@@ -122,30 +250,70 @@ def check_determinism(term: Process, **kwargs) -> CheckResult:
     return check_property(term, "deterministic", **kwargs)
 
 
+def check_trace(
+    spec: Process,
+    events,
+    *,
+    env: Optional[Environment] = None,
+    name: Optional[str] = None,
+    lines=None,
+    max_states: int = DEFAULT_STATE_LIMIT,
+    passes: PassSpec = "default",
+    cache: Optional[CompilationCache] = None,
+    obs: Optional[Tracer] = None,
+) -> CheckResult:
+    """Is the logged trace *events* a trace of *spec*?  (Trace membership.)
+
+    The runtime-verification primitive: *spec* is normalised once and the
+    events (any iterable -- a generator streams a huge log without
+    materialising it) walk the deterministic automaton one by one, so the
+    first non-conforming event yields a counterexample carrying its
+    position and, when *lines* gives per-event source lines, its log-line
+    provenance.  Membership is prefix-closed: a log cut off mid-session
+    still passes.
+    """
+    # deferred: repro.rv builds on this module's pipeline defaults
+    from .rv.check import check_trace_membership
+
+    return check_trace_membership(
+        spec,
+        events,
+        env=env,
+        name=name,
+        lines=lines,
+        max_states=max_states,
+        passes=passes,
+        cache=cache,
+        obs=obs,
+    )
+
+
 def execute_check(
     spec,
     *,
     cache_dir: Optional[str] = None,
     result_cache_dir: Optional[str] = None,
     profile: bool = False,
-):
+) -> Verdict:
     """Execute one :class:`~repro.batch.spec.CheckSpec` through the runtime.
 
     The programmatic spelling of what every entry point (inline batch,
     ``cspbatch`` workers, the ``cspserve`` daemon) does per check: run the
     spec through :func:`repro.exec.runtime.execute_cached` and return its
-    canonical :class:`~repro.batch.spec.JobResult`.  *result_cache_dir*
-    names a content-addressed verdict store -- an identical spec already
-    discharged by any mode answers from disk without re-verifying.
+    canonical outcome as a :class:`Verdict`.  *result_cache_dir* names a
+    content-addressed verdict store -- an identical spec already discharged
+    by any mode answers from disk without re-verifying.
     """
     # deferred: repro.exec pulls in the batch/worker machinery
     from .exec.runtime import execute_cached, open_result_cache
 
-    return execute_cached(
-        spec,
-        cache_dir=cache_dir,
-        profile=profile,
-        result_cache=open_result_cache(result_cache_dir),
+    return Verdict.from_job_result(
+        execute_cached(
+            spec,
+            cache_dir=cache_dir,
+            profile=profile,
+            result_cache=open_result_cache(result_cache_dir),
+        )
     )
 
 
@@ -199,6 +367,58 @@ def verify_requirements(
         obs=obs,
         inline=jobs <= 1 and cache_dir is None,
     )
+
+
+def verify_traces(
+    manifest: Union[str, Dict[str, Any]],
+    *,
+    base_dir: Optional[str] = None,
+    jobs: int = 0,
+    timeout: Optional[float] = None,
+    result_cache_dir: Optional[str] = None,
+    server: Optional[str] = None,
+    tenant: Optional[str] = None,
+    obs: Optional[Tracer] = None,
+) -> List[Verdict]:
+    """Check a whole fleet of logs: the programmatic ``csprv``.
+
+    *manifest* is an rv manifest -- a path (relative log/dbc entries then
+    resolve against its directory) or an already-loaded document (they
+    resolve against *base_dir*, default the working directory).  Every log
+    becomes one ``kind: "trace"`` check executed inline (``jobs=0``), over
+    a local worker pool, or by a running ``cspserve`` daemon
+    (``server="http://..."``); *result_cache_dir* memoises verdicts across
+    calls and modes.  Returns one :class:`Verdict` per log **in manifest
+    order** -- the same canonical bytes in every mode.
+    """
+    # deferred: repro.rv pulls in ingestion and the batch machinery
+    import os as _os
+
+    from .rv.cli import load_rv_manifest, specs_from_manifest
+
+    if isinstance(manifest, str):
+        doc = load_rv_manifest(manifest)
+        if base_dir is None:
+            base_dir = _os.path.dirname(manifest) or "."
+    else:
+        doc = manifest
+    specs = specs_from_manifest(doc, base_dir if base_dir is not None else ".")
+    if server is not None:
+        results = server_client(server).run_manifest(
+            specs, tenant=tenant, timeout=timeout
+        )
+    else:
+        from .batch import run_batch
+
+        results = run_batch(
+            specs,
+            jobs=jobs,
+            timeout=timeout,
+            result_cache_dir=result_cache_dir,
+            obs=obs,
+            inline=jobs == 0,
+        ).results
+    return [Verdict.from_job_result(job) for job in results]
 
 
 def server_client(url: str, *, http_timeout: Optional[float] = None):

@@ -8,7 +8,7 @@ format the process-pool executor ships to its workers, so everything a
 worker can be asked to do is expressible as data, replayable from a file,
 and safe to load (no pickled code).
 
-Four spec kinds:
+Five spec kinds:
 
 ``refinement``
     ``spec [model= impl`` with inline process terms (encoded with the
@@ -17,6 +17,14 @@ Four spec kinds:
 ``property``
     ``term :[deadlock free]`` / ``divergence free`` / ``deterministic``,
     same term encoding.
+``trace``
+    Offline runtime verification (:mod:`repro.rv`): is this logged event
+    sequence a trace of the specification process?  The document carries
+    the spec term, its reachable bindings, and the trace itself as encoded
+    events (optionally annotated with source-log line numbers for
+    counterexample provenance) -- fully self-contained, so the structural
+    key covers everything that decides the verdict and rv jobs memoise
+    and dedup exactly like refinements.
 ``requirement``
     One row of the paper's Table III (``"R01"``..``"R05"``); the worker
     rebuilds the session system itself, so the manifest entry is one line.
@@ -37,8 +45,9 @@ execution -- the conformance corpus and the batch oracle compare those.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, IO, List, Optional, Sequence, Union
+from typing import Any, Dict, IO, List, Optional, Sequence, Tuple, Union
 
+from ..csp.events import Event
 from ..csp.process import Environment, Process
 from ..fdr.refine import CheckResult
 
@@ -54,11 +63,40 @@ CANCELLED = "CANCELLED"
 
 VERDICTS = (PASS, FAIL, ERROR, TIMEOUT, CANCELLED)
 
-_KINDS = ("refinement", "property", "requirement", "selftest")
+_KINDS = ("refinement", "property", "trace", "requirement", "selftest")
 
 
 class ManifestError(ValueError):
     """The manifest (or one spec document) is outside the batch schema."""
+
+
+def reachable_bindings(env, *terms, bindings=None):
+    """The named equations reachable from *terms*, bodies included.
+
+    Walks each term (and every body it pulls in) for
+    :class:`~repro.csp.process.ProcessRef` nodes and resolves them against
+    *env*, so the returned ``{name: body}`` mapping makes a spec document
+    self-contained -- the precondition for it to be a sound structural key.
+    This is the one implementation behind every spec-construction path:
+    ``cspcheck``'s memoisation documents, batch manifests written from
+    evaluated models, and rv trace specs.
+
+    Names already present in *bindings* (or unbound in *env*) are left
+    alone; the caller decides whether an unresolved reference is an error.
+    """
+    from ..csp.process import ProcessRef
+
+    collected: Dict[str, Process] = dict(bindings or {})
+    stack = list(terms)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ProcessRef) and node.name not in collected:
+            if node.name in env:
+                body = env.resolve(node.name)
+                collected[node.name] = body
+                stack.append(body)
+        stack.extend(item for item in node._key() if isinstance(item, Process))
+    return collected
 
 
 class CheckSpec:
@@ -76,6 +114,8 @@ class CheckSpec:
         property_name: Optional[str] = None,
         req_id: Optional[str] = None,
         op: Optional[str] = None,
+        trace: Optional[Sequence[Event]] = None,
+        trace_lines: Optional[Sequence[Optional[int]]] = None,
         bindings: Optional[Dict[str, Process]] = None,
         passes: str = "default",
         max_states: Optional[int] = None,
@@ -94,6 +134,21 @@ class CheckSpec:
         self.property_name = property_name
         self.req_id = req_id
         self.op = op
+        #: for ``kind == "trace"``: the logged event sequence to check, plus
+        #: optional per-event source-log line numbers (same length) carried
+        #: into the counterexample's frame provenance
+        self.trace: Optional[Tuple[Event, ...]] = (
+            None if trace is None else tuple(trace)
+        )
+        self.trace_lines: Optional[Tuple[Optional[int], ...]] = (
+            None if trace_lines is None else tuple(trace_lines)
+        )
+        if (
+            self.trace is not None
+            and self.trace_lines is not None
+            and len(self.trace) != len(self.trace_lines)
+        ):
+            raise ManifestError("trace_lines must align with the trace")
         self.bindings: Dict[str, Process] = dict(bindings or {})
         self.passes = passes
         self.max_states = max_states
@@ -142,6 +197,28 @@ class CheckSpec:
         )
 
     @classmethod
+    def trace_check(
+        cls,
+        spec: Process,
+        trace: Sequence[Event],
+        *,
+        check_id: Optional[str] = None,
+        trace_lines: Optional[Sequence[Optional[int]]] = None,
+        bindings: Optional[Dict[str, Process]] = None,
+        **options,
+    ) -> "CheckSpec":
+        """An rv membership check: is *trace* a trace of *spec*?"""
+        return cls(
+            "trace",
+            check_id=check_id,
+            spec=spec,
+            trace=trace,
+            trace_lines=trace_lines,
+            bindings=bindings,
+            **options,
+        )
+
+    @classmethod
     def requirement(cls, req_id: str, **options) -> "CheckSpec":
         return cls("requirement", check_id=options.pop("check_id", req_id), req_id=req_id, **options)
 
@@ -160,7 +237,7 @@ class CheckSpec:
     # -- JSON ----------------------------------------------------------------
 
     def to_doc(self) -> Dict[str, Any]:
-        from ..quickcheck.serialise import encode_process
+        from ..quickcheck.serialise import encode_event, encode_process
 
         doc: Dict[str, Any] = {"kind": self.kind}
         if self.check_id is not None:
@@ -172,6 +249,17 @@ class CheckSpec:
         elif self.kind == "property":
             doc["property"] = self.property_name
             doc["term"] = encode_process(self.term)
+        elif self.kind == "trace":
+            doc["spec"] = encode_process(self.spec)
+            entries = []
+            for position, event in enumerate(self.trace or ()):
+                entry = encode_event(event)
+                if self.trace_lines is not None:
+                    line = self.trace_lines[position]
+                    if line is not None:
+                        entry["line"] = line
+                entries.append(entry)
+            doc["trace"] = entries
         elif self.kind == "requirement":
             doc["req"] = self.req_id
         else:
@@ -191,7 +279,11 @@ class CheckSpec:
 
     @classmethod
     def from_doc(cls, doc: Dict[str, Any]) -> "CheckSpec":
-        from ..quickcheck.serialise import CorpusEncodingError, decode_process
+        from ..quickcheck.serialise import (
+            CorpusEncodingError,
+            decode_event,
+            decode_process,
+        )
 
         if not isinstance(doc, dict):
             raise ManifestError("a check entry must be a JSON object")
@@ -205,12 +297,21 @@ class CheckSpec:
                 bound_name: decode_process(body)
                 for bound_name, body in (doc.get("env") or {}).items()
             }
-            spec = impl = term = None
+            spec = impl = term = trace = trace_lines = None
             if kind == "refinement":
                 spec = decode_process(doc["spec"])
                 impl = decode_process(doc["impl"])
             elif kind == "property":
                 term = decode_process(doc["term"])
+            elif kind == "trace":
+                spec = decode_process(doc["spec"])
+                entries = doc["trace"]
+                if not isinstance(entries, list):
+                    raise ManifestError("trace check entry 'trace' must be a list")
+                trace = [decode_event(entry) for entry in entries]
+                trace_lines = [entry.get("line") for entry in entries]
+                if all(line is None for line in trace_lines):
+                    trace_lines = None
         except (CorpusEncodingError, KeyError, TypeError) as error:
             raise ManifestError(
                 "undecodable check entry {!r}: {}".format(doc.get("id"), error)
@@ -231,6 +332,8 @@ class CheckSpec:
             property_name=doc.get("property"),
             req_id=doc.get("req"),
             op=doc.get("op"),
+            trace=trace,
+            trace_lines=trace_lines,
             bindings=bindings,
             passes=doc.get("passes", "default"),
             max_states=doc.get("max_states"),
@@ -294,6 +397,11 @@ class JobResult:
                 "trace": [str(event) for event in violation.trace],
                 "description": violation.describe(),
             }
+            # counterexample classes may carry extra run-invariant fields
+            # (the rv checker adds violation position and frame provenance)
+            doc_fields = getattr(violation, "doc_fields", None)
+            if doc_fields is not None:
+                counterexample.update(doc_fields())
         return cls(
             index,
             check_id,

@@ -9,7 +9,8 @@ the paper's Fig. 1 workflow.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Tuple
+import json
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..csp.events import Event
 from .frame import CanFrame
@@ -24,6 +25,22 @@ class TraceEntry:
         self.time = time
         self.sender = sender
         self.frame = frame
+
+    def to_doc(self) -> Dict[str, Any]:
+        """The JSON-object form of one transfer (tracelog JSONL line)."""
+        doc: Dict[str, Any] = {
+            "t": self.time,
+            "sender": self.sender,
+            "id": self.frame.can_id,
+            "data": list(self.frame.data),
+        }
+        if self.frame.name is not None:
+            doc["name"] = self.frame.name
+        if self.frame.extended:
+            doc["extended"] = True
+        if self.frame.remote:
+            doc["remote"] = True
+        return doc
 
     def __repr__(self) -> str:
         return "TraceEntry(t={}, {} -> {!r})".format(self.time, self.sender, self.frame)
@@ -66,6 +83,24 @@ class TraceLog:
                 )
             )
         return "\n".join(lines)
+
+    def to_jsonl(self) -> str:
+        """The log as tracelog JSONL -- the canonical rv interchange format.
+
+        One sorted-key JSON object per transfer (see
+        :meth:`TraceEntry.to_doc`), newline-terminated; byte-deterministic
+        for a given log.  :mod:`repro.rv.ingest` parses this format (and
+        round-trips every field the CSP event mappings depend on).
+        """
+        return "".join(
+            json.dumps(entry.to_doc(), sort_keys=True) + "\n"
+            for entry in self.entries
+        )
+
+    def write_jsonl(self, path: str) -> None:
+        """Write :meth:`to_jsonl` to *path*."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_jsonl())
 
     def to_csp_events(
         self,

@@ -17,7 +17,6 @@ from __future__ import annotations
 
 import argparse
 import sys
-import warnings
 from typing import IO, Iterable, Optional, Tuple
 
 from .obs.profile import Profile, overall_profile
@@ -150,12 +149,3 @@ def emit_stats(
     out = stream if stream is not None else sys.stderr
     for key, value in pairs:
         out.write("stat {}: {}\n".format(key, value))
-
-
-def warn_deprecated(old: str, new: str) -> None:
-    """One-line deprecation warning pointing at the :mod:`repro.api` facade."""
-    warnings.warn(
-        "{} is deprecated; use {} instead".format(old, new),
-        DeprecationWarning,
-        stacklevel=3,
-    )

@@ -82,6 +82,21 @@ def execute_spec(
                 **_budget(spec),
             )
             result = JobResult.of_check_result(index, spec.check_id, check)
+        elif spec.kind == "trace":
+            from ..rv.check import check_trace_membership
+
+            check = check_trace_membership(
+                spec.spec,
+                spec.trace,
+                env=spec.environment(),
+                name=spec.name,
+                lines=spec.trace_lines,
+                passes=spec.passes,
+                cache=cache,
+                obs=obs,
+                **_budget(spec),
+            )
+            result = JobResult.of_check_result(index, spec.check_id, check)
         else:
             check = api.check_property(
                 spec.term,

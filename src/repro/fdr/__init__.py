@@ -35,15 +35,9 @@ from .refine import (
 )
 from .assertions import (
     Assertion,
-    fd_refinement,
     PropertyAssertion,
     RefinementAssertion,
     Session,
-    deadlock_free,
-    deterministic,
-    divergence_free,
-    failures_refinement,
-    trace_refinement,
 )
 
 __all__ = [
@@ -69,16 +63,10 @@ __all__ = [
     "check_fd_refinement",
     "check_trace_refinement",
     "check_trace_refinement_from",
-    "deadlock_free",
-    "deterministic",
-    "divergence_free",
-    "failures_refinement",
-    "fd_refinement",
     "compression_ratio",
     "minimal_bitsets",
     "minimal_sets",
     "minimise",
     "normalise",
     "tau_cycle_states",
-    "trace_refinement",
 ]

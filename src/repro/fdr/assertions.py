@@ -174,109 +174,3 @@ class Session:
         lines.append("{}/{} assertions passed".format(passed, len(results)))
         return "\n".join(lines)
 
-
-# -- one-shot convenience wrappers (deprecated; use repro.api) ---------------
-#
-# These predate the repro.api facade and survive for source compatibility
-# only.  Each delegates to the facade -- the pipeline built there is
-# configured identically, so results (labels included) are unchanged -- and
-# raises a DeprecationWarning pointing at the replacement.
-
-
-def trace_refinement(
-    spec: Process,
-    impl: Process,
-    env: Optional[Environment] = None,
-    name: Optional[str] = None,
-    max_states: int = DEFAULT_STATE_LIMIT,
-) -> CheckResult:
-    """Check ``spec [T= impl`` in one call.
-
-    .. deprecated:: use :func:`repro.api.check_refinement` instead.
-    """
-    from ..api import check_refinement
-    from ..cli_common import warn_deprecated
-
-    warn_deprecated("trace_refinement", "repro.api.check_refinement")
-    return check_refinement(
-        spec, impl, "T", env=env, name=name, max_states=max_states
-    )
-
-
-def fd_refinement(
-    spec: Process,
-    impl: Process,
-    env: Optional[Environment] = None,
-    name: Optional[str] = None,
-    max_states: int = DEFAULT_STATE_LIMIT,
-) -> CheckResult:
-    """Check ``spec [FD= impl`` in one call.
-
-    .. deprecated:: use :func:`repro.api.check_refinement` instead.
-    """
-    from ..api import check_refinement
-    from ..cli_common import warn_deprecated
-
-    warn_deprecated("fd_refinement", "repro.api.check_refinement")
-    return check_refinement(
-        spec, impl, "FD", env=env, name=name, max_states=max_states
-    )
-
-
-def failures_refinement(
-    spec: Process,
-    impl: Process,
-    env: Optional[Environment] = None,
-    name: Optional[str] = None,
-    max_states: int = DEFAULT_STATE_LIMIT,
-) -> CheckResult:
-    """Check ``spec [F= impl`` in one call.
-
-    .. deprecated:: use :func:`repro.api.check_refinement` instead.
-    """
-    from ..api import check_refinement
-    from ..cli_common import warn_deprecated
-
-    warn_deprecated("failures_refinement", "repro.api.check_refinement")
-    return check_refinement(
-        spec, impl, "F", env=env, name=name, max_states=max_states
-    )
-
-
-def deadlock_free(
-    process: Process,
-    env: Optional[Environment] = None,
-    max_states: int = DEFAULT_STATE_LIMIT,
-) -> CheckResult:
-    """.. deprecated:: use :func:`repro.api.check_deadlock` instead."""
-    from ..api import check_deadlock
-    from ..cli_common import warn_deprecated
-
-    warn_deprecated("deadlock_free", "repro.api.check_deadlock")
-    return check_deadlock(process, env=env, max_states=max_states)
-
-
-def divergence_free(
-    process: Process,
-    env: Optional[Environment] = None,
-    max_states: int = DEFAULT_STATE_LIMIT,
-) -> CheckResult:
-    """.. deprecated:: use :func:`repro.api.check_divergence` instead."""
-    from ..api import check_divergence
-    from ..cli_common import warn_deprecated
-
-    warn_deprecated("divergence_free", "repro.api.check_divergence")
-    return check_divergence(process, env=env, max_states=max_states)
-
-
-def deterministic(
-    process: Process,
-    env: Optional[Environment] = None,
-    max_states: int = DEFAULT_STATE_LIMIT,
-) -> CheckResult:
-    """.. deprecated:: use :func:`repro.api.check_determinism` instead."""
-    from ..api import check_determinism
-    from ..cli_common import warn_deprecated
-
-    warn_deprecated("deterministic", "repro.api.check_determinism")
-    return check_determinism(process, env=env, max_states=max_states)

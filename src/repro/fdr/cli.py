@@ -103,35 +103,17 @@ def _assertion_doc(model, decl, max_states: int, passes: str):
     Assertions outside the corpus codec (or the manifest schema) return
     None and simply run fresh every time.
     """
-    from ..batch.spec import CheckSpec
-    from ..csp.process import Process, ProcessRef
-
-    def collect(term, bindings):
-        # the named equations reachable from *term*, bodies included --
-        # the spec document must be self-contained to be a sound key
-        stack = [term]
-        while stack:
-            node = stack.pop()
-            if isinstance(node, ProcessRef) and node.name not in bindings:
-                if node.name in model.env:
-                    body = model.env.resolve(node.name)
-                    bindings[node.name] = body
-                    stack.append(body)
-            stack.extend(
-                item for item in node._key() if isinstance(item, Process)
-            )
-        return bindings
+    from ..batch.spec import CheckSpec, reachable_bindings
 
     try:
         left = model.eval_process(decl.left, {})
         if decl.kind in ("T", "F", "FD"):
             right = model.eval_process(decl.right, {})
-            bindings = collect(right, collect(left, {}))
             spec = CheckSpec.refinement(
                 left,
                 right,
                 decl.kind,
-                bindings=bindings,
+                bindings=reachable_bindings(model.env, left, right),
                 passes=passes,
                 max_states=max_states,
             )
@@ -139,7 +121,7 @@ def _assertion_doc(model, decl, max_states: int, passes: str):
             spec = CheckSpec.property_check(
                 left,
                 decl.kind,
-                bindings=collect(left, {}),
+                bindings=reachable_bindings(model.env, left),
                 passes=passes,
                 max_states=max_states,
             )

@@ -1,0 +1,178 @@
+"""Streaming trace-membership checking against a compiled specification.
+
+A logged trace is a member of a specification's trace set iff the
+deterministic automaton produced by FDR-style normalisation accepts it, so
+checking is a single walk: start at the initial node, follow one transition
+per logged event, and stop at the first event the current node cannot
+perform.  That walk is *streaming* -- :class:`TraceChecker` consumes events
+one at a time (from a list, a generator, or a log file being decoded on the
+fly), keeps only a bounded context window for the counterexample, and never
+builds a process term or product automaton for the trace.
+
+Cost per event is one dict lookup; a million-frame log checks in O(n) time
+and O(1) memory once the spec is normalised (and the normalised spec is
+shared across every trace checked against it via the compilation cache).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Optional, Sequence, Tuple
+
+from ..csp.events import Event
+from ..csp.lts import DEFAULT_STATE_LIMIT
+from ..csp.process import Environment, Process
+from ..csp.traces import format_trace
+from ..fdr.counterexample import Counterexample
+from ..fdr.normalise import NormalisedSpec
+from ..fdr.refine import CheckResult
+from ..obs.trace import Tracer
+
+#: accepted-prefix context kept for a violation's counterexample trace;
+#: bounded so streaming checks stay O(1) memory on arbitrarily long logs
+CONTEXT_WINDOW = 8
+
+
+class TraceViolation(Counterexample):
+    """The log performed an event the specification does not allow.
+
+    ``trace`` is the tail of the accepted prefix (at most
+    :data:`CONTEXT_WINDOW` events -- the bounded context a streaming check
+    retains), ``position`` the 0-based index of the offending event in the
+    log's event sequence, and ``line`` its source-log line number when the
+    ingest layer recorded one.
+    """
+
+    kind = "trace"
+
+    def __init__(
+        self,
+        trace: Tuple[Event, ...],
+        forbidden: Event,
+        position: int,
+        line: Optional[int] = None,
+    ) -> None:
+        super().__init__(trace)
+        self.forbidden = forbidden
+        self.position = position
+        self.line = line
+
+    def describe(self) -> str:
+        where = "at event {}".format(self.position)
+        if self.line is not None:
+            where += " (log line {})".format(self.line)
+        return (
+            "trace violation: {} the log performs {} which the "
+            "specification does not allow after {}".format(
+                where, self.forbidden, format_trace(self.trace)
+            )
+        )
+
+    def doc_fields(self) -> Dict[str, Any]:
+        """Extra run-invariant counterexample fields for the JobResult doc."""
+        fields: Dict[str, Any] = {
+            "position": self.position,
+            "event": str(self.forbidden),
+        }
+        if self.line is not None:
+            fields["frame"] = {"line": self.line}
+        return fields
+
+
+class TraceChecker:
+    """Incremental membership walk over a normalised specification.
+
+    Feed events with :meth:`advance`; the checker tracks the current node,
+    the number of events accepted, and the bounded context window.  Once an
+    event is rejected the checker latches its violation and ignores further
+    input (a trace with a non-member prefix is not a member).
+    """
+
+    def __init__(self, spec: NormalisedSpec) -> None:
+        self.spec = spec
+        self.node = spec.initial
+        self.position = 0
+        self.violation: Optional[TraceViolation] = None
+        self._window: list = []
+
+    @property
+    def failed(self) -> bool:
+        return self.violation is not None
+
+    def advance(self, event: Event, line: Optional[int] = None) -> bool:
+        """Consume one event; False (and a latched violation) on rejection."""
+        if self.violation is not None:
+            return False
+        eid = self.spec.table.id_of(event)
+        target = (
+            None if eid is None else self.spec.afters_ids[self.node].get(eid)
+        )
+        if target is None:
+            self.violation = TraceViolation(
+                tuple(self._window), event, self.position, line
+            )
+            return False
+        self.node = target
+        self.position += 1
+        self._window.append(event)
+        if len(self._window) > CONTEXT_WINDOW:
+            self._window.pop(0)
+        return True
+
+
+def check_trace_membership(
+    spec: Process,
+    events: Iterable[Event],
+    *,
+    env: Optional[Environment] = None,
+    name: Optional[str] = None,
+    lines: Optional[Sequence[Optional[int]]] = None,
+    max_states: int = DEFAULT_STATE_LIMIT,
+    passes: str = "default",
+    cache=None,
+    obs: Optional[Tracer] = None,
+) -> CheckResult:
+    """Is *events* a trace of *spec*?  The engine core behind ``kind: "trace"``.
+
+    Builds (or fetches from *cache*) the normalised spec automaton through
+    the same :class:`~repro.engine.pipeline.VerificationPipeline` machinery
+    as a ``[T=`` check -- pass configuration included, so compressing passes
+    that preserve traces apply -- then streams *events* through a
+    :class:`TraceChecker`.  *events* may be any iterable; a generator is
+    consumed lazily and the check stops at the first violation.
+
+    *lines* optionally maps event positions to source-log line numbers for
+    the counterexample's frame provenance.  The result's
+    ``transitions_explored`` is the number of events accepted and
+    ``states_explored`` the number of spec nodes visited (accepted + 1).
+    """
+    from ..engine.pipeline import VerificationPipeline
+
+    pipeline = VerificationPipeline(
+        env if env is not None else Environment(),
+        cache=cache,
+        max_states=max_states,
+        passes=passes,
+        obs=obs,
+    )
+    label = name or "trace membership of {!r}".format(spec)
+    tracer = pipeline.obs
+    with tracer.span("check", name=label, model="trace") as root:
+        with tracer.span("plan"):
+            prepared = pipeline.plan.prepare(spec, "T", max_states)
+        normalised = pipeline.normalised(prepared.term, max_states)
+        with tracer.span("refine", model="trace"):
+            checker = TraceChecker(normalised)
+            for position, event in enumerate(events):
+                line = None
+                if lines is not None and position < len(lines):
+                    line = lines[position]
+                if not checker.advance(event, line):
+                    break
+    result = CheckResult(
+        label,
+        checker.violation is None,
+        checker.violation,
+        states_explored=checker.position + 1,
+        transitions_explored=checker.position,
+    )
+    return pipeline._finish(result, root, prepared)

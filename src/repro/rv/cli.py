@@ -1,0 +1,413 @@
+"""``csprv`` -- check fleets of CAN logs against CSP specifications.
+
+Usage::
+
+    csprv MANIFEST.json [--jobs N] [--server URL] [--tenant NAME]
+          [--timeout S] [--result-cache DIR | --no-result-cache]
+          [--emit-manifest FILE] [--quiet] [--stats]
+          [--profile] [--trace-out FILE]
+    csprv --fleetgen DIR --vehicles N [--seed S] [--fault-rate F]
+
+The **rv manifest** names a fleet of logs and how to check them::
+
+    {
+      "format": 1,
+      "dbc": "network.dbc",            // or "builtin:ota"
+      "mapping": {"channels": {"VMG": "send"}, "unknown": "abstract"},
+      "spec": "ota-session",           // or an inline process document
+      "env": {"Name": {...}},          // bindings for an inline spec
+      "logs": ["vehicle-00001.jsonl", "drive.log"],
+      "max_states": 100000             // optional engine budget
+    }
+
+Relative paths resolve against the manifest's directory.  Each log is
+ingested (:mod:`repro.rv.ingest`), mapped to CSP events through the .dbc
+layer (:mod:`repro.rv.mapping`) and becomes one ``kind: "trace"`` check --
+so rv jobs run on exactly the engine every other mode uses: inline
+(default), a local worker pool (``--jobs N``), or a running ``cspserve``
+daemon (``--server URL``), with verdict memoisation via ``--result-cache``.
+Results stream to stdout as canonical JSON Lines, one per log **in manifest
+order** -- the same bytes in every mode; a violation's counterexample
+carries the event position and the source log line.
+
+``--emit-manifest FILE`` writes the built checks as a ``cspbatch`` batch
+manifest instead of running them -- the bridge CI uses to replay the same
+fleet through ``cspbatch --server`` and ``cmp`` the outputs.
+
+Exit status follows the house convention: 0 all logs conform, 1 any
+violation (or rejected submission), 2 unusable invocation, manifest or log.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import threading
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..batch.spec import CheckSpec, ManifestError, PASS, dump_manifest
+from ..cli_common import (
+    EXIT_OK,
+    EXIT_USAGE,
+    EXIT_VIOLATION,
+    add_observability_args,
+    add_result_cache_args,
+    add_seed_arg,
+    add_stats_arg,
+    emit_stats,
+    finish_observability,
+    result_cache_dir_from_args,
+    tracer_from_args,
+)
+from .ingest import read_log
+from .mapping import EventMapping
+from .specs import OTA_DBC_PATH, builtin_spec
+
+#: rv manifest format version understood by this tool
+RV_MANIFEST_FORMAT = 1
+
+#: ``"dbc"`` values that name a bundled database instead of a file
+BUILTIN_DATABASES = {"builtin:ota": OTA_DBC_PATH}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="csprv",
+        description="Runtime-verify CAN logs: map logged frames to CSP "
+        "events through a .dbc database and check each trace against a "
+        "specification.",
+    )
+    parser.add_argument(
+        "manifest",
+        nargs="?",
+        default=None,
+        help="path of the rv manifest (JSON), or '-' for stdin",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=0,
+        metavar="N",
+        help="max concurrent worker processes (default: 0 = inline)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-log wall-clock timeout (default: none)",
+    )
+    parser.add_argument(
+        "--server",
+        default=None,
+        metavar="URL",
+        help="submit the checks to a running cspserve daemon instead of "
+        "checking locally (--jobs then does nothing)",
+    )
+    parser.add_argument(
+        "--tenant",
+        default=None,
+        metavar="NAME",
+        help="tenant to submit as in --server mode (quota accounting)",
+    )
+    parser.add_argument(
+        "--emit-manifest",
+        default=None,
+        metavar="FILE",
+        help="write the built checks as a cspbatch batch manifest ('-' for "
+        "stdout) and exit without running them",
+    )
+    parser.add_argument(
+        "--fleetgen",
+        default=None,
+        metavar="DIR",
+        help="generate a seeded synthetic fleet into DIR (with its rv "
+        "manifest) instead of checking logs",
+    )
+    parser.add_argument(
+        "--vehicles",
+        type=int,
+        default=100,
+        metavar="N",
+        help="fleet size for --fleetgen (default: 100)",
+    )
+    parser.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.2,
+        metavar="F",
+        help="fraction of --fleetgen vehicles carrying an injected fault "
+        "(default: 0.2)",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the per-log and summary diagnostics on stderr",
+    )
+    add_seed_arg(parser)
+    add_result_cache_args(parser, "rv verdicts")
+    add_stats_arg(parser, "print verdict statistics to stderr")
+    add_observability_args(parser)
+    return parser
+
+
+# -- manifest -> CheckSpecs ----------------------------------------------------
+
+
+def load_rv_manifest(source) -> Dict[str, Any]:
+    """Read and structurally validate an rv manifest document."""
+    try:
+        if isinstance(source, str):
+            with open(source, "r", encoding="utf-8") as handle:
+                doc = json.load(handle)
+        else:
+            doc = json.load(source)
+    except ValueError as error:
+        raise ManifestError(
+            "rv manifest is not valid JSON: {}".format(error)
+        ) from None
+    if not isinstance(doc, dict):
+        raise ManifestError("rv manifest must be a JSON object")
+    if doc.get("format") != RV_MANIFEST_FORMAT:
+        raise ManifestError(
+            "unsupported rv manifest format {!r} (expected {})".format(
+                doc.get("format"), RV_MANIFEST_FORMAT
+            )
+        )
+    logs = doc.get("logs")
+    if not isinstance(logs, list) or not all(
+        isinstance(item, str) for item in logs
+    ):
+        raise ManifestError("rv manifest 'logs' must be a list of paths")
+    if "spec" not in doc:
+        raise ManifestError("rv manifest needs a 'spec'")
+    if "dbc" not in doc:
+        raise ManifestError("rv manifest needs a 'dbc'")
+    return doc
+
+
+def _resolve_spec(doc: Dict[str, Any]) -> Tuple[Any, Dict[str, Any]]:
+    """The manifest's specification as ``(term, bindings)``."""
+    from ..quickcheck.serialise import decode_process
+
+    spec = doc["spec"]
+    if isinstance(spec, str):
+        return builtin_spec(spec)
+    term = decode_process(spec)
+    env_docs = doc.get("env", {})
+    if not isinstance(env_docs, dict):
+        raise ManifestError("rv manifest 'env' must be an object")
+    bindings = {
+        name: decode_process(body) for name, body in env_docs.items()
+    }
+    return term, bindings
+
+
+def _resolve_database(doc: Dict[str, Any], base_dir: str):
+    from ..candb.parser import parse_dbc_file
+
+    dbc = doc["dbc"]
+    if not isinstance(dbc, str):
+        raise ManifestError("rv manifest 'dbc' must be a path or builtin name")
+    if dbc in BUILTIN_DATABASES:
+        path = BUILTIN_DATABASES[dbc]
+    elif dbc.startswith("builtin:"):
+        raise ManifestError(
+            "unknown builtin database {!r}; known: {}".format(
+                dbc, ", ".join(sorted(BUILTIN_DATABASES))
+            )
+        )
+    else:
+        path = os.path.join(base_dir, dbc)
+    return parse_dbc_file(path)
+
+
+def specs_from_manifest(
+    doc: Dict[str, Any], base_dir: str = "."
+) -> List[CheckSpec]:
+    """Build one ``kind: "trace"`` :class:`CheckSpec` per manifest log.
+
+    Each log is ingested and mapped here, so the returned specs are
+    self-contained wire documents: the trace events (with their source line
+    numbers) travel inline, which is what makes the batch, server and
+    memoised modes reproduce inline verdicts byte for byte.
+    """
+    database = _resolve_database(doc, base_dir)
+    mapping = EventMapping.from_doc(database, doc.get("mapping", {}))
+    term, bindings = _resolve_spec(doc)
+    options: Dict[str, Any] = {}
+    if doc.get("max_states") is not None:
+        options["max_states"] = doc["max_states"]
+    if doc.get("passes") is not None:
+        options["passes"] = doc["passes"]
+    specs = []
+    for log_path in doc["logs"]:
+        resolved = os.path.join(base_dir, log_path)
+        events: List[Any] = []
+        lines: List[Optional[int]] = []
+        for event, line in mapping.stream(read_log(resolved)):
+            events.append(event)
+            lines.append(line)
+        specs.append(
+            CheckSpec.trace_check(
+                term,
+                events,
+                check_id=log_path,
+                trace_lines=lines,
+                bindings=bindings,
+                name="trace membership of {}".format(log_path),
+                **options,
+            )
+        )
+    return specs
+
+
+# -- run modes -----------------------------------------------------------------
+
+
+def _emit_results(args, results) -> int:
+    counts: Dict[str, int] = {}
+    for result in results:
+        counts[result.verdict] = counts.get(result.verdict, 0) + 1
+        sys.stdout.write(result.canonical_line() + "\n")
+        if not args.quiet and result.verdict != PASS:
+            sys.stderr.write(result.summary() + "\n")
+    if not args.quiet:
+        parts = ", ".join(
+            "{} {}".format(count, verdict)
+            for verdict, count in sorted(counts.items())
+        )
+        sys.stderr.write(
+            "{} logs checked ({})\n".format(
+                len(results), parts if parts else "empty"
+            )
+        )
+    if args.stats:
+        emit_stats(sorted(counts.items()))
+    ok = all(result.verdict == PASS for result in results)
+    return EXIT_OK if ok else EXIT_VIOLATION
+
+
+def _run_against_server(args, specs: List[CheckSpec]) -> int:
+    from ..server.client import ServerClient, ServerError
+    from ..server.protocol import Rejection
+
+    try:
+        client = ServerClient(args.server)
+    except ValueError as error:
+        sys.stderr.write("csprv: {}\n".format(error))
+        return EXIT_USAGE
+    try:
+        results = client.run_manifest(
+            specs, tenant=args.tenant, timeout=args.timeout
+        )
+    except ServerError as error:
+        sys.stderr.write("csprv: {}\n".format(error))
+        return EXIT_USAGE
+    except Rejection as rejection:
+        sys.stderr.write(
+            "csprv: server rejected the fleet ({}): {}\n".format(
+                rejection.code, rejection.message
+            )
+        )
+        return EXIT_VIOLATION
+    return _emit_results(args, results)
+
+
+def _run_local(args, specs: List[CheckSpec]) -> int:
+    from ..batch.executor import run_batch
+
+    tracer = tracer_from_args(args)
+    cancel = threading.Event()
+    try:
+        report = run_batch(
+            specs,
+            jobs=args.jobs,
+            timeout=args.timeout,
+            result_cache_dir=result_cache_dir_from_args(args),
+            obs=tracer if tracer.enabled else None,
+            cancel=cancel,
+            inline=args.jobs == 0,
+        )
+    except KeyboardInterrupt:
+        sys.stderr.write("csprv: interrupted\n")
+        return EXIT_VIOLATION
+    status = _emit_results(args, report.results)
+    if args.stats and report.result_cache_stats is not None:
+        emit_stats(sorted(report.result_cache_stats.items()))
+    finish_observability(args, tracer, report.profile)
+    return status
+
+
+def _run_fleetgen(args, parser: argparse.ArgumentParser) -> int:
+    from .fleetgen import write_fleet
+
+    if args.vehicles < 0:
+        parser.exit(EXIT_USAGE, "csprv: --vehicles must be >= 0\n")
+    if not 0.0 <= args.fault_rate <= 1.0:
+        parser.exit(EXIT_USAGE, "csprv: --fault-rate must be within [0, 1]\n")
+    manifest_path = write_fleet(
+        args.fleetgen,
+        args.vehicles,
+        seed=args.seed,
+        fault_rate=args.fault_rate,
+    )
+    sys.stdout.write(manifest_path + "\n")
+    if not args.quiet:
+        sys.stderr.write(
+            "csprv: generated {} vehicles (seed {}, fault rate {}) "
+            "in {}\n".format(
+                args.vehicles, args.seed, args.fault_rate, args.fleetgen
+            )
+        )
+    return EXIT_OK
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.fleetgen is not None:
+        if args.manifest is not None:
+            parser.exit(
+                EXIT_USAGE, "csprv: --fleetgen does not take a manifest\n"
+            )
+        return _run_fleetgen(args, parser)
+    if args.manifest is None:
+        parser.exit(EXIT_USAGE, "csprv: a manifest path is required\n")
+    if args.jobs < 0:
+        parser.exit(EXIT_USAGE, "csprv: --jobs must be >= 0\n")
+    try:
+        doc = load_rv_manifest(
+            sys.stdin if args.manifest == "-" else args.manifest
+        )
+        base_dir = (
+            "." if args.manifest == "-" else os.path.dirname(args.manifest) or "."
+        )
+        specs = specs_from_manifest(doc, base_dir)
+    except OSError as error:
+        parser.exit(EXIT_USAGE, "csprv: cannot read input: {}\n".format(error))
+    except (ManifestError, ValueError) as error:
+        # LogParseError and UnknownFrameError are ValueErrors: a log the
+        # fleet cannot even ingest is an unusable input, not a verdict
+        parser.exit(EXIT_USAGE, "csprv: {}\n".format(error))
+    if args.emit_manifest is not None:
+        dump_manifest(
+            specs,
+            sys.stdout if args.emit_manifest == "-" else args.emit_manifest,
+        )
+        if not args.quiet:
+            sys.stderr.write(
+                "csprv: wrote {} trace checks as a batch manifest\n".format(
+                    len(specs)
+                )
+            )
+        return EXIT_OK
+    if args.server is not None:
+        return _run_against_server(args, specs)
+    return _run_local(args, specs)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

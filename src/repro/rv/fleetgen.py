@@ -1,0 +1,234 @@
+"""Seeded synthetic fleet-log generation on the canbus simulator.
+
+Benchmarking (and CI-gating) fleet-scale rv needs fleets on demand: N
+vehicles' worth of OTA session traffic, deterministic for a seed, with a
+controllable fraction of faulty sessions.  Each vehicle is one run of the
+discrete-event CAN simulator (:mod:`repro.canbus`):
+
+* a **VMG** scripted node drives the session blindly on its schedule --
+  diagnose, then a seeded number of update modules with seeded spacing,
+  occasionally re-diagnosing (exactly the ``RvOtaSession`` protocol of
+  :mod:`repro.rv.specs`);
+* an **ECU** function node answers every request with the matching report,
+  payloads seeded through the .dbc codec;
+* a seeded minority of vehicles carries one injected fault, each a classic
+  CAN attack primitive and each a guaranteed protocol violation:
+
+  - ``drop``    -- a ``delivery_filter`` eats one ECU report (jamming /
+    selective drop), so the next request arrives un-answered;
+  - ``replay``  -- an attacker node re-transmits a captured ECU report
+    after the real one;
+  - ``inject``  -- an attacker node transmits an alien identifier the
+    database does not know (mapped to an ``unknown.*`` event by the
+    default policy).
+
+Logs come back as :class:`~repro.canbus.tracelog.TraceLog` objects and are
+written as tracelog JSONL plus a ready-to-run ``csprv`` manifest by
+:func:`write_fleet`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+from typing import List, Optional
+
+from ..canbus.bus import CanBus
+from ..canbus.frame import CanFrame
+from ..canbus.node import FunctionNode, ScriptedNode
+from ..canbus.scheduler import Scheduler
+from ..canbus.tracelog import TraceLog
+from ..candb.codec import encode_message
+from ..candb.model import Database
+from .specs import OTA_MAPPING_DOC, ota_database
+
+FAULTS = ("drop", "replay", "inject")
+
+#: an 11-bit identifier outside the OTA database (the inject fault)
+ALIEN_ID = 0x7FF
+
+#: rv manifest format version (see docs/rv.md)
+RV_MANIFEST_FORMAT = 1
+
+
+class VehicleLog:
+    """One generated vehicle: its trace log and the fault it carries."""
+
+    def __init__(self, name: str, log: TraceLog, fault: Optional[str]) -> None:
+        self.name = name
+        self.log = log
+        self.fault = fault
+
+    def __repr__(self) -> str:
+        return "VehicleLog({!r}, {} frames, fault={!r})".format(
+            self.name, len(self.log), self.fault
+        )
+
+
+def _frame(database: Database, name: str, values: dict) -> CanFrame:
+    message = database.message_by_name(name)
+    return CanFrame(
+        message.can_id,
+        encode_message(message, values),
+        name=message.name,
+    )
+
+
+def generate_vehicle(
+    seed: int,
+    *,
+    database: Optional[Database] = None,
+    fault: Optional[str] = None,
+) -> TraceLog:
+    """One vehicle's OTA session as a trace log, deterministic for *seed*."""
+    if fault is not None and fault not in FAULTS:
+        raise ValueError(
+            "unknown fault {!r}; known: {}".format(fault, ", ".join(FAULTS))
+        )
+    database = database if database is not None else ota_database()
+    rng = random.Random(seed)
+    scheduler = Scheduler()
+    bus = CanBus(scheduler)
+
+    # the VMG's blind schedule: diagnose, then update modules with seeded
+    # spacing, re-diagnosing between modules now and then
+    schedule = []
+    clock = rng.randrange(500, 2_000)
+    reports: List[str] = []  # the report the ECU owes after each request
+
+    def request(name: str, values: dict, report: str) -> None:
+        nonlocal clock
+        schedule.append((clock, _frame(database, name, values)))
+        reports.append(report)
+        clock += rng.randrange(2_000, 5_000)
+
+    request("reqSw", {"RequestType": rng.randrange(0, 4)}, "rptSw")
+    for module in range(rng.randrange(1, 4)):
+        if module and rng.random() < 0.3:
+            request("reqSw", {"RequestType": 2}, "rptSw")
+        request(
+            "reqApp",
+            {
+                "ModuleId": rng.randrange(0, 16),
+                "PackageCrc": rng.randrange(0, 1 << 16),
+                "ApplyMode": rng.randrange(0, 3),
+            },
+            "rptUpd",
+        )
+    ScriptedNode("VMG", bus, schedule)
+
+    # the ECU answers each request with its owed report, payloads seeded up
+    # front so an attacker's replayed copy is byte-identical
+    replies = {
+        "rptSw": _frame(
+            database,
+            "rptSw",
+            {"SwVersion": rng.randrange(0, 256), "DiagStatus": rng.randrange(0, 3)},
+        ),
+        "rptUpd": _frame(
+            database, "rptUpd", {"ResultCode": rng.choice([0, 0, 0, 1, 3])}
+        ),
+    }
+
+    def answer(node: FunctionNode, frame: CanFrame) -> None:
+        if frame.name in ("reqSw", "reqApp"):
+            node.output(replies["rptSw" if frame.name == "reqSw" else "rptUpd"])
+
+    FunctionNode("ECU", bus, on_message=answer)
+
+    if fault == "drop":
+        # eat one ECU report mid-session; the following request then arrives
+        # after an un-answered one -- a protocol violation in the log
+        victim = rng.randrange(0, max(1, len(reports) - 1))
+        state = {"seen": 0}
+
+        def delivery_filter(sender, frame):
+            if sender.name == "ECU":
+                state["seen"] += 1
+                if state["seen"] - 1 == victim:
+                    return False
+            return True
+
+        bus.delivery_filter = delivery_filter
+    elif fault == "replay":
+        # re-transmit a captured report shortly after the real exchange
+        when = schedule[rng.randrange(0, len(schedule))][0] + rng.randrange(
+            500, 1_500
+        )
+        ScriptedNode("ATTACKER", bus, [(when, replies[rng.choice(reports)])])
+    elif fault == "inject":
+        # transmit an identifier the database does not know mid-session
+        when = rng.randrange(schedule[0][0], clock)
+        ScriptedNode(
+            "ATTACKER",
+            bus,
+            [(when, CanFrame(ALIEN_ID, [rng.randrange(0, 256)]))],
+        )
+
+    return bus.simulate()
+
+
+def generate_fleet(
+    count: int,
+    *,
+    seed: int = 0,
+    fault_rate: float = 0.2,
+    database: Optional[Database] = None,
+) -> List[VehicleLog]:
+    """*count* seeded vehicles, a *fault_rate* fraction of them faulty.
+
+    Vehicle ``i`` is generated from ``seed + i`` with its fault drawn from
+    a fleet-level stream seeded by *seed* alone -- so the same invocation
+    always yields the same fleet, frame for frame.
+    """
+    if count < 0:
+        raise ValueError("fleet size must be non-negative")
+    if not 0.0 <= fault_rate <= 1.0:
+        raise ValueError("fault_rate must be within [0, 1]")
+    database = database if database is not None else ota_database()
+    fleet_rng = random.Random(seed)
+    vehicles = []
+    for index in range(count):
+        fault = None
+        if fleet_rng.random() < fault_rate:
+            fault = fleet_rng.choice(FAULTS)
+        log = generate_vehicle(seed + index + 1, database=database, fault=fault)
+        vehicles.append(
+            VehicleLog("vehicle-{:05d}".format(index + 1), log, fault)
+        )
+    return vehicles
+
+
+def write_fleet(
+    directory: str,
+    count: int,
+    *,
+    seed: int = 0,
+    fault_rate: float = 0.2,
+) -> str:
+    """Generate a fleet into *directory*; returns the manifest path.
+
+    Writes one tracelog JSONL per vehicle plus ``manifest.json`` -- a
+    ``csprv`` rv manifest checking every log against the built-in
+    ``ota-session`` spec under the default OTA event mapping.
+    """
+    os.makedirs(directory, exist_ok=True)
+    vehicles = generate_fleet(count, seed=seed, fault_rate=fault_rate)
+    logs = []
+    for vehicle in vehicles:
+        filename = vehicle.name + ".jsonl"
+        vehicle.log.write_jsonl(os.path.join(directory, filename))
+        logs.append(filename)
+    manifest = {
+        "format": RV_MANIFEST_FORMAT,
+        "dbc": "builtin:ota",
+        "mapping": dict(OTA_MAPPING_DOC),
+        "spec": "ota-session",
+        "logs": logs,
+    }
+    manifest_path = os.path.join(directory, "manifest.json")
+    with open(manifest_path, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return manifest_path

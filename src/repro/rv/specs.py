@@ -1,0 +1,94 @@
+"""Built-in rv specifications and their default event mappings.
+
+The bundled OTA update network (``repro/ota/data/ota_update.dbc``, the
+X.1373 subset of the paper's case study) gets a ready-made session
+specification here so fleet logs check out of the box: ``csprv`` manifests
+may name ``"ota-session"`` instead of inlining a process document, and
+:mod:`repro.rv.fleetgen` generates traffic against exactly this protocol.
+
+The session protocol (paper Sec. VIII): the vehicle management gateway
+(VMG) first diagnoses the ECU's software state (``reqSw``/``rptSw``); only
+then may it apply update modules (``reqApp``/``rptUpd``), re-diagnosing at
+will.  Any reordering, duplication or alien frame falls outside the trace
+set -- which is what makes drop/replay/inject faults detectable.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Tuple
+
+from ..candb.model import Database
+from ..candb.parser import parse_dbc_file
+from ..csp.events import Event
+from ..csp.process import ExternalChoice, Prefix, Process, ProcessRef
+
+#: the bundled OTA network database
+OTA_DBC_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "ota",
+    "data",
+    "ota_update.dbc",
+)
+
+#: default event-mapping document for the OTA network: VMG transmits on
+#: ``send``, the ECU replies on ``rec`` (the translator's convention), and
+#: unknown identifiers surface as ``unknown.0xID`` events the session spec
+#: does not allow -- so injected alien traffic is a violation, not noise
+OTA_MAPPING_DOC = {
+    "channels": {"VMG": "send", "ECU": "rec"},
+    "unknown": "abstract",
+}
+
+SEND_REQ_SW = Event("send", ("reqSw",))
+REC_RPT_SW = Event("rec", ("rptSw",))
+SEND_REQ_APP = Event("send", ("reqApp",))
+REC_RPT_UPD = Event("rec", ("rptUpd",))
+
+
+def ota_database() -> Database:
+    """The parsed bundled OTA network database."""
+    return parse_dbc_file(OTA_DBC_PATH)
+
+
+def ota_session_spec() -> Tuple[Process, Dict[str, Process]]:
+    """The OTA session protocol as ``(spec term, named bindings)``.
+
+    ``RvOtaSession``: a session opens with a diagnose exchange
+    (``send.reqSw`` then ``rec.rptSw``); afterwards the VMG repeatedly
+    either applies an update module (``send.reqApp`` then ``rec.rptUpd``)
+    or re-diagnoses.  Trace membership is prefix-closed, so logs cut off
+    mid-exchange (vehicle powered down) still pass.
+    """
+    diagnose_again = Prefix(
+        SEND_REQ_SW, Prefix(REC_RPT_SW, ProcessRef("RvOtaLoop"))
+    )
+    apply_module = Prefix(
+        SEND_REQ_APP, Prefix(REC_RPT_UPD, ProcessRef("RvOtaLoop"))
+    )
+    bindings = {
+        "RvOtaSession": Prefix(
+            SEND_REQ_SW, Prefix(REC_RPT_SW, ProcessRef("RvOtaLoop"))
+        ),
+        "RvOtaLoop": ExternalChoice(apply_module, diagnose_again),
+    }
+    return ProcessRef("RvOtaSession"), bindings
+
+
+#: name -> builder registry for manifest ``"spec": "<name>"`` references
+BUILTIN_SPECS = {
+    "ota-session": ota_session_spec,
+}
+
+
+def builtin_spec(name: str) -> Tuple[Process, Dict[str, Process]]:
+    """Resolve a built-in spec name to ``(spec term, bindings)``."""
+    try:
+        builder = BUILTIN_SPECS[name]
+    except KeyError:
+        raise ValueError(
+            "unknown built-in spec {!r}; known: {}".format(
+                name, ", ".join(sorted(BUILTIN_SPECS))
+            )
+        ) from None
+    return builder()

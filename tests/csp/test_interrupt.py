@@ -103,7 +103,7 @@ class TestAttackTakeoverScenario:
     def test_attacker_interrupt_breaks_integrity(self):
         """The interrupt operator as an attacker model: a bus-off attack
         that silences the ECU mid-session."""
-        from repro.fdr import deadlock_free, trace_refinement
+        from repro import api
         from repro.security.properties import request_response
 
         env = Environment()
@@ -112,10 +112,10 @@ class TestAttackTakeoverScenario:
         attacked = Interrupt(ref("ECU"), Prefix(kill, STOP))
         env.bind("ATTACKED", attacked)
         # once busoff fires, the ECU deadlocks: availability is lost
-        assert deadlock_free(ref("ECU"), env).passed
-        assert not deadlock_free(ref("ATTACKED"), env).passed
+        assert api.check_deadlock(ref("ECU"), env=env).passed
+        assert not api.check_deadlock(ref("ATTACKED"), env=env).passed
         # the integrity spec over {req,rsp,busoff} also fails: the response
         # may never come after busoff interrupts mid-exchange
         spec = request_response(req, rsp, env, "RR")
-        result = trace_refinement(spec, ref("ATTACKED"), env)
+        result = api.check_refinement(spec, ref("ATTACKED"), "T", env=env)
         assert not result.passed

@@ -23,7 +23,7 @@ from repro.csp.timed import (
     tockify_lts,
     wait,
 )
-from repro.fdr import trace_refinement
+from repro import api
 
 A, B = event("a"), event("b")
 ALPHABET = Alphabet.of(A, B)
@@ -102,17 +102,17 @@ class TestDeadlineSpec:
     def test_prompt_response_passes(self):
         spec, env = self.make_spec()
         env.bind("IMPL", Prefix(A, Prefix(TOCK, Prefix(B, ref("IMPL")))))
-        assert trace_refinement(spec, ref("IMPL"), env).passed
+        assert api.check_refinement(spec, ref("IMPL"), "T", env=env).passed
 
     def test_response_at_deadline_passes(self):
         spec, env = self.make_spec(2)
         env.bind("IMPL", Prefix(A, wait(2, Prefix(B, ref("IMPL")))))
-        assert trace_refinement(spec, ref("IMPL"), env).passed
+        assert api.check_refinement(spec, ref("IMPL"), "T", env=env).passed
 
     def test_late_response_fails(self):
         spec, env = self.make_spec(2)
         env.bind("IMPL", Prefix(A, wait(3, Prefix(B, ref("IMPL")))))
-        result = trace_refinement(spec, ref("IMPL"), env)
+        result = api.check_refinement(spec, ref("IMPL"), "T", env=env)
         assert not result.passed
         # the violation is the third tock after the trigger
         assert result.counterexample.forbidden == TOCK
@@ -120,7 +120,7 @@ class TestDeadlineSpec:
     def test_time_free_outside_window(self):
         spec, env = self.make_spec(1)
         env.bind("IMPL", Prefix(TOCK, Prefix(TOCK, Prefix(TOCK, ref("IMPL")))))
-        assert trace_refinement(spec, ref("IMPL"), env).passed
+        assert api.check_refinement(spec, ref("IMPL"), "T", env=env).passed
 
 
 class TestTimerMonitor:

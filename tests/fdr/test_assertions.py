@@ -12,16 +12,9 @@ from repro.csp import (
     ref,
     sequence,
 )
-from repro.fdr import (
-    PropertyAssertion,
-    RefinementAssertion,
-    Session,
-    deadlock_free,
-    deterministic,
-    divergence_free,
-    failures_refinement,
-    trace_refinement,
-)
+import repro.fdr
+from repro import api
+from repro.fdr import PropertyAssertion, RefinementAssertion, Session
 
 A, B = event("a"), event("b")
 
@@ -87,37 +80,43 @@ class TestSession:
         assert "0/1 assertions passed" in session.report()
 
 
-class TestConvenienceWrappers:
-    # The wrappers are deprecated in favour of repro.api; pyproject's
-    # filterwarnings turns every *other* warning into an error, with one
-    # ignore entry scoped to exactly these six wrapper messages -- so the
-    # suite still fails fast on any new warning anywhere in the stack.
-    def test_wrappers_warn_deprecation(self):
-        with pytest.warns(DeprecationWarning, match="trace_refinement is deprecated"):
-            trace_refinement(Prefix(A, STOP), STOP)
-        with pytest.warns(DeprecationWarning, match="deadlock_free is deprecated"):
-            deadlock_free(Prefix(A, ref("P")), Environment().bind("P", STOP))
+class TestApiOneShots:
+    # The deprecated one-shot wrappers of repro.fdr.assertions are gone;
+    # their behaviour lives on the repro.api facade, pinned here.
+    def test_wrappers_removed(self):
+        for gone in (
+            "trace_refinement",
+            "fd_refinement",
+            "failures_refinement",
+            "deadlock_free",
+            "divergence_free",
+            "deterministic",
+        ):
+            assert not hasattr(repro.fdr, gone)
+            assert gone not in repro.fdr.__all__
 
     def test_trace_refinement(self):
-        assert trace_refinement(Prefix(A, STOP), STOP).passed
+        assert api.check_refinement(Prefix(A, STOP), STOP, "T").passed
 
     def test_failures_refinement(self):
-        assert not failures_refinement(
-            Prefix(A, STOP), InternalChoice(Prefix(A, STOP), STOP)
+        assert not api.check_refinement(
+            Prefix(A, STOP), InternalChoice(Prefix(A, STOP), STOP), "F"
         ).passed
 
     def test_deadlock_free(self):
         env = Environment().bind("P", Prefix(A, ref("P")))
-        assert deadlock_free(ref("P"), env).passed
-        assert not deadlock_free(STOP).passed
+        assert api.check_deadlock(ref("P"), env=env).passed
+        assert not api.check_deadlock(STOP).passed
 
     def test_divergence_free(self):
-        assert divergence_free(sequence(A, B)).passed
+        assert api.check_divergence(sequence(A, B)).passed
 
     def test_deterministic(self):
-        assert deterministic(sequence(A, B)).passed
-        assert not deterministic(InternalChoice(Prefix(A, STOP), STOP)).passed
+        assert api.check_determinism(sequence(A, B)).passed
+        assert not api.check_determinism(
+            InternalChoice(Prefix(A, STOP), STOP)
+        ).passed
 
     def test_result_bool_protocol(self):
-        assert bool(trace_refinement(Prefix(A, STOP), STOP))
-        assert not bool(trace_refinement(STOP, Prefix(A, STOP)))
+        assert bool(api.check_refinement(Prefix(A, STOP), STOP, "T"))
+        assert not bool(api.check_refinement(STOP, Prefix(A, STOP), "T"))

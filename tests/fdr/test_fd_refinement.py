@@ -11,12 +11,8 @@ from repro.csp import (
     ref,
     sequence,
 )
-from repro.fdr import (
-    DivergenceCounterexample,
-    failures_refinement,
-    fd_refinement,
-    trace_refinement,
-)
+from repro import api
+from repro.fdr import DivergenceCounterexample
 from repro.security.properties import chaos
 
 A, B = event("a"), event("b")
@@ -32,14 +28,14 @@ class TestFdRefinement:
         env = Environment()
         env.bind("SPEC", Prefix(A, Prefix(B, ref("SPEC"))))
         env.bind("IMPL", Prefix(A, Prefix(B, ref("IMPL"))))
-        assert fd_refinement(ref("SPEC"), ref("IMPL"), env).passed
+        assert api.check_refinement(ref("SPEC"), ref("IMPL"), "FD", env=env).passed
 
     def test_implementation_divergence_caught(self):
         env = Environment()
         env.bind("SPEC", Prefix(B, ref("SPEC")))
         env.bind("DIVIMPL", divergent_after(B, env))
-        f_result = failures_refinement(ref("SPEC"), ref("DIVIMPL"), env)
-        fd_result = fd_refinement(ref("SPEC"), ref("DIVIMPL"), env)
+        f_result = api.check_refinement(ref("SPEC"), ref("DIVIMPL"), "F", env=env)
+        fd_result = api.check_refinement(ref("SPEC"), ref("DIVIMPL"), "FD", env=env)
         assert f_result.passed  # stable failures is blind to divergence
         assert not fd_result.passed
         assert isinstance(fd_result.counterexample, DivergenceCounterexample)
@@ -50,21 +46,21 @@ class TestFdRefinement:
         env.bind("DIVSPEC", divergent_after(B, env))
         # after <b> the spec diverges: the impl may then do anything at all
         env.bind("WILD", Prefix(B, Prefix(A, Prefix(B, STOP))))
-        assert fd_refinement(ref("DIVSPEC"), ref("WILD"), env).passed
+        assert api.check_refinement(ref("DIVSPEC"), ref("WILD"), "FD", env=env).passed
 
     def test_trace_violation_still_caught_before_divergence(self):
         env = Environment()
         env.bind("DIVSPEC", divergent_after(B, env))
         env.bind("EARLY", Prefix(A, STOP))  # 'a' not allowed initially
-        result = fd_refinement(ref("DIVSPEC"), ref("EARLY"), env)
+        result = api.check_refinement(ref("DIVSPEC"), ref("EARLY"), "FD", env=env)
         assert not result.passed
 
     def test_stable_refusal_checked(self):
         env = Environment()
         env.bind("SPEC", Prefix(A, ref("SPEC")))
         env.bind("LAZY", InternalChoice(Prefix(A, ref("LAZY")), STOP))
-        assert trace_refinement(ref("SPEC"), ref("LAZY"), env).passed
-        assert not fd_refinement(ref("SPEC"), ref("LAZY"), env).passed
+        assert api.check_refinement(ref("SPEC"), ref("LAZY"), "T", env=env).passed
+        assert not api.check_refinement(ref("SPEC"), ref("LAZY"), "FD", env=env).passed
 
 
 class TestChaos:
@@ -72,31 +68,31 @@ class TestChaos:
         env = Environment()
         spec = chaos(Alphabet.of(A, B), env, "CH")
         env.bind("ANY", Prefix(A, Prefix(B, Prefix(A, ref("ANY")))))
-        assert trace_refinement(spec, ref("ANY"), env).passed
+        assert api.check_refinement(spec, ref("ANY"), "T", env=env).passed
 
     def test_everything_failures_refines_chaos(self):
         env = Environment()
         spec = chaos(Alphabet.of(A, B), env, "CH")
         env.bind("STUBBORN", Prefix(A, STOP))
-        assert failures_refinement(spec, ref("STUBBORN"), env).passed
-        assert failures_refinement(spec, STOP, env).passed
+        assert api.check_refinement(spec, ref("STUBBORN"), "F", env=env).passed
+        assert api.check_refinement(spec, STOP, "F", env=env).passed
 
     def test_chaos_rejects_foreign_events(self):
         env = Environment()
         spec = chaos(Alphabet.of(A), env, "CHA")
         env.bind("OTHER", Prefix(B, STOP))
-        assert not trace_refinement(spec, ref("OTHER"), env).passed
+        assert not api.check_refinement(spec, ref("OTHER"), "T", env=env).passed
 
     def test_empty_alphabet_chaos_is_stop(self):
         env = Environment()
         spec = chaos(Alphabet(), env, "CH0")
-        assert trace_refinement(spec, STOP, env).passed
+        assert api.check_refinement(spec, STOP, "T", env=env).passed
 
     def test_divergent_impl_fails_fd_against_chaos(self):
         env = Environment()
         spec = chaos(Alphabet.of(A, B), env, "CHD")
         env.bind("DIV", divergent_after(B, env))
-        assert not fd_refinement(spec, ref("DIV"), env).passed
+        assert not api.check_refinement(spec, ref("DIV"), "FD", env=env).passed
 
 
 class TestCspmFdAssertions:

@@ -7,7 +7,7 @@ from repro.candb import decode_message, encode_message, export_database, parse_d
 from repro.capl import CaplNode
 from repro.csp import compile_lts, event
 from repro.cspm import load
-from repro.fdr import deadlock_free
+from repro import api
 from repro.ota.capl_sources import ECU_SOURCE, VMG_SOURCE
 from repro.translator import ChannelConvention, ModelExtractor, NetworkBuilder
 
@@ -45,7 +45,7 @@ class TestDbcDrivesEverything:
         declarations = export_database(database, per_node_channels=False)
         script = declarations + "\nP = can!reqSw -> can!rptSw -> P\n"
         model = load(script)
-        assert deadlock_free(model.process("P"), model.env).passed
+        assert api.check_deadlock(model.process("P"), env=model.env).passed
 
 
 class TestShippedCaplFiles:
@@ -57,7 +57,7 @@ class TestShippedCaplFiles:
         result = ModelExtractor().extract_file(str(DATA / "ecu.can"))
         assert result.node_name == "ECU"
         model = result.load()
-        assert deadlock_free(model.process("ECU"), model.env).passed
+        assert api.check_deadlock(model.process("ECU"), env=model.env).passed
 
 
 class TestThreeNodeNetwork:

@@ -28,12 +28,12 @@ def test_simulated_behaviour_is_admitted_by_extracted_model(repro_seed):
 
 def test_extracted_scripts_always_load_and_are_deadlock_free(repro_seed):
     """Extraction of arbitrary reactive programs yields loadable, live models."""
-    from repro.fdr import deadlock_free
+    from repro import api
 
     def check(program):
         result = ModelExtractor().extract(program.render(), "ECU")
         model = result.load()
-        outcome = deadlock_free(model.process("ECU"), model.env, max_states=100_000)
+        outcome = api.check_deadlock(model.process("ECU"), env=model.env, max_states=100_000)
         assert outcome.passed
 
     for_all(capl_programs(), check, seed=repro_seed, name="extraction-live", cases=40)

@@ -12,7 +12,7 @@ Each test pins one claim of the paper:
 
 from repro.csp import compile_lts, event
 from repro.cspm import load, prelude
-from repro.fdr import trace_refinement
+from repro import api
 from repro.ota import (
     build_paper_system,
     build_secured_system,
@@ -45,15 +45,13 @@ class TestSectionVB:
 
     def test_sp02_holds_on_correct_system(self):
         system = build_paper_system()
-        assert trace_refinement(system.sp02, system.system, system.env).passed
+        assert api.check_refinement(system.sp02, system.system, "T", env=system.env).passed
 
     def test_sp02_script_form_matches_api_form(self):
         script_model = load(prelude.SP02_SCRIPT)
         (script_result,) = script_model.check_assertions()
         api_system = build_paper_system()
-        api_result = trace_refinement(
-            api_system.sp02, api_system.system, api_system.env
-        )
+        api_result = api.check_refinement(api_system.sp02, api_system.system, "T", env=api_system.env)
         assert script_result.passed == api_result.passed is True
 
 

@@ -1,7 +1,7 @@
 """Tests for the extended server-to-ECU scope (paper Sec. VIII-A)."""
 
 from repro.csp import Alphabet, Hiding, compile_lts, event
-from repro.fdr import deadlock_free, divergence_free, trace_refinement
+from repro import api
 from repro.ota.extended import build_extended_system
 from repro.security.properties import precedes, request_response
 
@@ -9,16 +9,16 @@ from repro.security.properties import precedes, request_response
 class TestExtendedSystem:
     def test_end_to_end_spec_refined(self):
         system = build_extended_system()
-        result = trace_refinement(system.spec, system.system, system.env)
+        result = api.check_refinement(system.spec, system.system, "T", env=system.env)
         assert result.passed, result.summary()
 
     def test_deadlock_free(self):
         system = build_extended_system()
-        assert deadlock_free(system.system, system.env).passed
+        assert api.check_deadlock(system.system, env=system.env).passed
 
     def test_divergence_free(self):
         system = build_extended_system()
-        assert divergence_free(system.system, system.env).passed
+        assert api.check_divergence(system.system, env=system.env).passed
 
     def test_full_round_executes(self):
         system = build_extended_system()
@@ -57,7 +57,7 @@ class TestExtendedSystem:
         spec = request_response(
             system.send("reqSw"), system.rec("rptSw"), env, "XSP02"
         )
-        assert trace_refinement(spec, projected, env).passed
+        assert api.check_refinement(spec, projected, "T", env=env).passed
 
     def test_apply_preceded_by_server_update(self):
         """No ECU update without the server having pushed one."""
@@ -69,4 +69,4 @@ class TestExtendedSystem:
         spec = precedes(
             system.srv("update"), system.send("reqApp"), alphabet, env, "XPREC"
         )
-        assert trace_refinement(spec, system.system, env).passed
+        assert api.check_refinement(spec, system.system, "T", env=env).passed

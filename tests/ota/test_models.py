@@ -3,7 +3,7 @@
 import pytest
 
 from repro.csp import compile_lts, event
-from repro.fdr import deadlock_free, trace_refinement
+from repro import api
 from repro.ota import (
     build_paper_system,
     build_secured_system,
@@ -15,12 +15,12 @@ from repro.security.properties import never_occurs
 class TestPaperSystem:
     def test_sp02_refined_by_faithful_system(self):
         system = build_paper_system()
-        result = trace_refinement(system.sp02, system.system, system.env)
+        result = api.check_refinement(system.sp02, system.system, "T", env=system.env)
         assert result.passed
 
     def test_sp02_fails_on_flawed_system_with_paper_trace(self):
         system = build_paper_system(flawed=True)
-        result = trace_refinement(system.sp02, system.system, system.env)
+        result = api.check_refinement(system.sp02, system.system, "T", env=system.env)
         assert not result.passed
         assert result.counterexample.full_trace == (
             event("send", "reqSw"),
@@ -29,7 +29,7 @@ class TestPaperSystem:
 
     def test_system_deadlock_free(self):
         system = build_paper_system()
-        assert deadlock_free(system.system, system.env).passed
+        assert api.check_deadlock(system.system, env=system.env).passed
 
     def test_vmg_and_ecu_alternate(self):
         system = build_paper_system()
@@ -50,7 +50,7 @@ class TestPaperSystem:
 class TestSessionSystem:
     def test_full_session_refines_spec(self):
         session = build_session_system()
-        assert trace_refinement(session.spec, session.system, session.env).passed
+        assert api.check_refinement(session.spec, session.system, "T", env=session.env).passed
 
     def test_session_order(self):
         session = build_session_system()
@@ -67,7 +67,7 @@ class TestSessionSystem:
 
     def test_session_deadlock_free(self):
         session = build_session_system()
-        assert deadlock_free(session.system, session.env).passed
+        assert api.check_deadlock(session.system, env=session.env).passed
 
 
 class TestSecuredSystem:
@@ -80,7 +80,7 @@ class TestSecuredSystem:
         spec = never_occurs(
             secured.forbidden_applies, secured.alphabet, secured.env
         )
-        result = trace_refinement(spec, secured.attacked_system, secured.env)
+        result = api.check_refinement(spec, secured.attacked_system, "T", env=secured.env)
         assert not result.passed
         assert result.counterexample.forbidden == secured.apply("upd2")
 
@@ -89,14 +89,14 @@ class TestSecuredSystem:
         spec = never_occurs(
             secured.forbidden_applies, secured.alphabet, secured.env
         )
-        assert trace_refinement(spec, secured.attacked_system, secured.env).passed
+        assert api.check_refinement(spec, secured.attacked_system, "T", env=secured.env).passed
 
     def test_mac_nonce_blocks_injection(self):
         secured = build_secured_system("mac_nonce")
         spec = never_occurs(
             secured.forbidden_applies, secured.alphabet, secured.env
         )
-        assert trace_refinement(spec, secured.attacked_system, secured.env).passed
+        assert api.check_refinement(spec, secured.attacked_system, "T", env=secured.env).passed
 
     def test_honest_flow_still_possible_under_mac(self):
         """Security must not break function: the legitimate update applies."""

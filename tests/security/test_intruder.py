@@ -15,7 +15,7 @@ from repro.csp import (
     prefix,
     ref,
 )
-from repro.fdr import trace_refinement
+from repro import api
 from repro.security import IntruderBuilder, knowledge_lattice_size, replay_attacker
 from repro.security.properties import never_occurs, run_process
 
@@ -100,7 +100,7 @@ class TestComposition:
         attacked = builder.compose_with(ref("VICTIM"), env)
         alphabet = net.alphabet() | fake.alphabet() | boom.alphabet()
         spec = never_occurs([boom("m2")], alphabet, env, "NOM2")
-        result = trace_refinement(spec, attacked, env)
+        result = api.check_refinement(spec, attacked, "T", env=env)
         assert not result.passed
         assert result.counterexample.forbidden == boom("m2")
 

@@ -13,7 +13,7 @@ from repro.csp import (
     ref,
     sequence,
 )
-from repro.fdr import trace_refinement
+from repro import api
 from repro.security import (
     alternates,
     bounded_outstanding,
@@ -53,13 +53,13 @@ class TestRequestResponse:
         spec = request_response(A, B, env, "SP")
         impl_env = Environment().bind("I", Prefix(A, Prefix(B, ref("I"))))
         merged = env.merged(impl_env)
-        assert trace_refinement(spec, ref("I"), merged).passed
+        assert api.check_refinement(spec, ref("I"), "T", env=merged).passed
 
     def test_out_of_order_fails(self):
         env = Environment()
         spec = request_response(A, B, env, "SP")
         env.bind("I", Prefix(B, STOP))
-        assert not trace_refinement(spec, ref("I"), env).passed
+        assert not api.check_refinement(spec, ref("I"), "T", env=env).passed
 
 
 class TestNeverOccurs:
@@ -67,7 +67,7 @@ class TestNeverOccurs:
         env = Environment()
         spec = never_occurs([C], ALPHABET, env)
         env.bind("I", sequence(A, C))
-        result = trace_refinement(spec, ref("I"), env)
+        result = api.check_refinement(spec, ref("I"), "T", env=env)
         assert not result.passed
         assert result.counterexample.forbidden == C
 
@@ -75,7 +75,7 @@ class TestNeverOccurs:
         env = Environment()
         spec = never_occurs([C], ALPHABET, env)
         env.bind("I", Prefix(A, Prefix(B, ref("I"))))
-        assert trace_refinement(spec, ref("I"), env).passed
+        assert api.check_refinement(spec, ref("I"), "T", env=env).passed
 
 
 class TestPrecedes:
@@ -83,25 +83,25 @@ class TestPrecedes:
         env = Environment()
         spec = precedes(A, B, ALPHABET, env)
         env.bind("I", Prefix(B, STOP))
-        assert not trace_refinement(spec, ref("I"), env).passed
+        assert not api.check_refinement(spec, ref("I"), "T", env=env).passed
 
     def test_commit_after_running_passes(self):
         env = Environment()
         spec = precedes(A, B, ALPHABET, env)
         env.bind("I", sequence(A, B, C))
-        assert trace_refinement(spec, ref("I"), env).passed
+        assert api.check_refinement(spec, ref("I"), "T", env=env).passed
 
     def test_other_events_free_before_first(self):
         env = Environment()
         spec = precedes(A, B, ALPHABET, env)
         env.bind("I", sequence(C, C, A, B))
-        assert trace_refinement(spec, ref("I"), env).passed
+        assert api.check_refinement(spec, ref("I"), "T", env=env).passed
 
     def test_everything_free_after_first(self):
         env = Environment()
         spec = precedes(A, B, ALPHABET, env)
         env.bind("I", sequence(A, B, B, C, B))
-        assert trace_refinement(spec, ref("I"), env).passed
+        assert api.check_refinement(spec, ref("I"), "T", env=env).passed
 
 
 class TestAlternates:
@@ -109,25 +109,25 @@ class TestAlternates:
         env = Environment()
         spec = alternates(A, B, ALPHABET, env)
         env.bind("I", Prefix(A, Prefix(B, ref("I"))))
-        assert trace_refinement(spec, ref("I"), env).passed
+        assert api.check_refinement(spec, ref("I"), "T", env=env).passed
 
     def test_double_request_fails(self):
         env = Environment()
         spec = alternates(A, B, ALPHABET, env)
         env.bind("I", sequence(A, A))
-        assert not trace_refinement(spec, ref("I"), env).passed
+        assert not api.check_refinement(spec, ref("I"), "T", env=env).passed
 
     def test_response_first_fails(self):
         env = Environment()
         spec = alternates(A, B, ALPHABET, env)
         env.bind("I", sequence(B))
-        assert not trace_refinement(spec, ref("I"), env).passed
+        assert not api.check_refinement(spec, ref("I"), "T", env=env).passed
 
     def test_other_traffic_ignored(self):
         env = Environment()
         spec = alternates(A, B, ALPHABET, env)
         env.bind("I", sequence(C, A, C, B, C))
-        assert trace_refinement(spec, ref("I"), env).passed
+        assert api.check_refinement(spec, ref("I"), "T", env=env).passed
 
 
 class TestBoundedOutstanding:
@@ -139,13 +139,13 @@ class TestBoundedOutstanding:
         env = Environment()
         spec = bounded_outstanding(A, B, 2, env, "BO")
         env.bind("I", sequence(A, A, B, B))
-        assert trace_refinement(spec, ref("I"), env).passed
+        assert api.check_refinement(spec, ref("I"), "T", env=env).passed
 
     def test_flood_beyond_limit_fails(self):
         env = Environment()
         spec = bounded_outstanding(A, B, 2, env, "BO")
         env.bind("I", sequence(A, A, A))
-        result = trace_refinement(spec, ref("I"), env)
+        result = api.check_refinement(spec, ref("I"), "T", env=env)
         assert not result.passed
         assert result.counterexample.full_trace == (A, A, A)
 
@@ -153,4 +153,4 @@ class TestBoundedOutstanding:
         env = Environment()
         spec = bounded_outstanding(A, B, 1, env, "BO")
         env.bind("I", sequence(B))
-        assert not trace_refinement(spec, ref("I"), env).passed
+        assert not api.check_refinement(spec, ref("I"), "T", env=env).passed

@@ -4,7 +4,7 @@ import pytest
 
 from repro.csp import event
 from repro.csp.lts import compile_lts
-from repro.fdr import deadlock_free
+from repro import api
 from repro.translator import (
     ChannelConvention,
     ExtractorConfig,
@@ -44,7 +44,7 @@ class TestBasicExtraction:
     def test_generated_script_loads_and_checks(self):
         result = ModelExtractor().extract(SIMPLE_ECU, "ECU")
         model = result.load()
-        outcome = deadlock_free(model.process(result.process_name), model.env)
+        outcome = api.check_deadlock(model.process(result.process_name), env=model.env)
         assert outcome.passed
 
     def test_generated_model_behaviour(self):
@@ -162,12 +162,12 @@ class TestRealSources:
     def test_paper_ecu_extracts_and_checks(self):
         result = ModelExtractor().extract(ECU_SOURCE, "ECU")
         model = result.load()
-        assert deadlock_free(model.process("ECU"), model.env).passed
+        assert api.check_deadlock(model.process("ECU"), env=model.env).passed
 
     def test_paper_vmg_extracts_and_checks(self):
         result = ModelExtractor().extract(VMG_SOURCE, "VMG")
         model = result.load()
-        assert deadlock_free(model.process("VMG"), model.env).passed
+        assert api.check_deadlock(model.process("VMG"), env=model.env).passed
 
     def test_extract_file_uses_stem_as_node_name(self, tmp_path):
         path = tmp_path / "gateway.can"
