@@ -62,6 +62,7 @@ __all__ = [
     "verify_requirements",
     "verify_traces",
     "extract_model",
+    "learn_model",
     "server_client",
 ]
 
@@ -460,3 +461,82 @@ def extract_model(
         include_timers=include_timers,
     )
     return ModelExtractor(config).extract(capl_source, node)
+
+
+def learn_model(
+    capl_source: str,
+    *,
+    node: str = "ECU",
+    message_specs: Optional[Dict[str, Any]] = None,
+    teacher: str = "reference",
+    depth: int = 8,
+    max_rounds: int = 64,
+    seed: Optional[int] = None,
+    in_channel: str = "send",
+    out_channel: str = "rec",
+    obs: Optional[Tracer] = None,
+):
+    """Learn a model of *capl_source* by running it -- the black-box twin
+    of :func:`extract_model`.
+
+    Active automata learning (L*): the program is interpreted on the
+    simulated bus and queried with membership words until the observation
+    table converges.  ``teacher="reference"`` extracts a model from the
+    same source and uses the refinement engine as the equivalence oracle
+    -- any disagreement between extraction and the running program raises
+    :class:`~repro.learn.DivergenceError` with a witness trace;
+    ``teacher="bounded"`` stays fully black box and conformance-tests to
+    *depth*.  *message_specs* maps message names to
+    :class:`~repro.capl.interpreter.MessageSpec` (a parsed ``.dbc``'s
+    :meth:`~repro.candb.model.Database.message_specs`); omitted, ids are
+    derived deterministically from the source.
+
+    Returns a :class:`~repro.learn.LearnResult`: the automaton as a
+    :class:`~repro.csp.kernel.CompactLTS` plus canonical fingerprint,
+    query statistics, and ``.to_process()`` for the CheckSpec plumbing.
+    """
+    # deferred: most api callers never learn
+    from .learn import (
+        CaplSimulatorSUL,
+        ReferenceTeacher,
+        derive_message_specs,
+        learn,
+    )
+
+    if teacher not in ("reference", "bounded"):
+        raise ValueError(
+            "teacher must be 'reference' or 'bounded', not {!r}".format(teacher)
+        )
+    if message_specs is None:
+        message_specs = derive_message_specs(capl_source)
+    sul = CaplSimulatorSUL(
+        capl_source,
+        message_specs,
+        node=node,
+        in_channel=in_channel,
+        out_channel=out_channel,
+    )
+    if teacher == "reference":
+        from .csp.lts import compile_lts
+
+        model = extract_model(
+            capl_source,
+            node=node,
+            in_channel=in_channel,
+            out_channel=out_channel,
+        ).load()
+        reference = compile_lts(
+            model.process(node), model.env, max_states=100_000
+        )
+        equivalence = ReferenceTeacher(reference, name="extracted:" + node)
+    else:
+        equivalence = None  # learn() conformance-tests to *depth*
+    extra = {} if obs is None else {"obs": obs}
+    return learn(
+        sul,
+        teacher=equivalence,
+        max_rounds=max_rounds,
+        depth=depth,
+        seed=seed,
+        **extra
+    )

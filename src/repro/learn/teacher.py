@@ -1,0 +1,155 @@
+"""Equivalence teachers: where do hypothesis and truth disagree?
+
+Two strategies answer the learner's equivalence queries:
+
+* :class:`ReferenceTeacher` -- the "Learn, Check, Test" loop's shape: a
+  *reference automaton* (here: the model the CAPL extractor produced) is
+  compared against the hypothesis with the refinement engine, both
+  directions of ``[T=``.  The first counterexample trace of either
+  direction is fed back into the table.  Because the reference is an
+  independent artefact, a counterexample may expose a disagreement
+  between the reference and the *system under learning itself* rather
+  than a hypothesis defect; the learner detects that case (the membership
+  oracle already agrees with the hypothesis on the trace) and raises
+  :class:`DivergenceError` with the witness -- this is precisely the
+  signal the ``learned_vs_extracted`` differential oracle fires on.
+* :class:`BoundedTeacher` -- pure black box: breadth-first conformance
+  testing of the hypothesis against the membership oracle itself, over
+  all words up to a depth bound whose proper prefixes both sides accept.
+  Exact for languages whose distinguishing words fit the bound; the
+  golden corpus uses it for programs with genuinely hidden state, where
+  the extractor's over-approximation makes a reference teacher
+  inapplicable.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import NamedTuple, Optional
+
+from ..fdr.normalise import normalise
+from ..fdr.refine import check_trace_refinement, check_trace_refinement_from
+from .sul import LearnError, Word
+from .table import Hypothesis, MembershipCache
+
+
+class Counterexample(NamedTuple):
+    """One disagreement: the word, and whether the teacher's truth admits it."""
+
+    word: Word
+    reference_admits: bool
+
+
+class DivergenceError(LearnError):
+    """The reference automaton and the system under learning disagree.
+
+    *word* is the witness trace; *reference_admits* tells the direction:
+    ``False`` means the system exhibits a behaviour the reference forbids
+    (an unsound reference -- for an extracted model, an extractor bug),
+    ``True`` that the reference admits a behaviour the system cannot
+    produce (an over-approximation outside the precise fragment).
+    """
+
+    def __init__(self, word: Word, reference_admits: bool) -> None:
+        self.word = word
+        self.reference_admits = reference_admits
+        shown = [str(event) for event in word]
+        if reference_admits:
+            message = (
+                "the reference admits {} but the system under learning "
+                "cannot produce it".format(shown)
+            )
+        else:
+            message = (
+                "the system under learning exhibits {} but the reference "
+                "forbids it".format(shown)
+            )
+        super().__init__("learning diverged from the reference: " + message)
+
+
+class ReferenceTeacher:
+    """Engine-backed equivalence against a reference LTS.
+
+    *reference* is any compiled LTS (typically the extracted model's).
+    It is normalised once; each equivalence query then runs the two
+    ``[T=`` directions on-the-fly and returns the first disagreement.
+    """
+
+    def __init__(self, reference, *, name: str = "reference") -> None:
+        self.reference = reference
+        self.name = name
+        self._normalised = normalise(reference)
+        #: engine work done across all equivalence queries (diagnostics)
+        self.states_explored = 0
+
+    def counterexample(self, hypothesis: Hypothesis) -> Optional[Counterexample]:
+        # reference [T= hypothesis: a hypothesis-only trace, if any
+        excess = check_trace_refinement_from(self._normalised, hypothesis.lts)
+        self.states_explored += excess.states_explored
+        if not excess.passed:
+            word = tuple(excess.counterexample.full_trace)
+            return Counterexample(word, reference_admits=False)
+        # hypothesis [T= reference: a reference-only trace, if any
+        missing = check_trace_refinement(hypothesis.lts, self.reference)
+        self.states_explored += missing.states_explored
+        if not missing.passed:
+            word = tuple(missing.counterexample.full_trace)
+            return Counterexample(word, reference_admits=True)
+        return None
+
+    def __repr__(self) -> str:
+        return "ReferenceTeacher({!r})".format(self.name)
+
+
+class BoundedTeacher:
+    """Depth-bounded conformance testing against the membership oracle.
+
+    Explores, breadth first, every word whose proper prefixes hypothesis
+    and system agree to accept, up to *depth* symbols, and reports the
+    first word they classify differently.  With the membership cache in
+    front of the simulator, re-querying the agreed frontier after each
+    refinement round costs no extra runs.
+    """
+
+    def __init__(
+        self,
+        oracle: MembershipCache,
+        alphabet,
+        *,
+        depth: int = 8,
+        max_tests: int = 50_000,
+    ) -> None:
+        if depth < 1:
+            raise ValueError("conformance depth must be at least 1")
+        self.oracle = oracle
+        self.alphabet = tuple(alphabet)
+        self.depth = depth
+        self.max_tests = max_tests
+
+    def counterexample(self, hypothesis: Hypothesis) -> Optional[Counterexample]:
+        tests = 0
+        frontier = deque([()])
+        while frontier:
+            word = frontier.popleft()
+            if len(word) >= self.depth:
+                continue
+            for symbol in self.alphabet:
+                candidate = word + (symbol,)
+                tests += 1
+                if tests > self.max_tests:
+                    raise LearnError(
+                        "conformance budget of {} tests exhausted at depth "
+                        "{}; lower --depth or raise the budget".format(
+                            self.max_tests, len(candidate)
+                        )
+                    )
+                real = self.oracle.ask(candidate)
+                guessed = hypothesis.accepts(candidate)
+                if real != guessed:
+                    return Counterexample(candidate, reference_admits=real)
+                if real:
+                    frontier.append(candidate)
+        return None
+
+    def __repr__(self) -> str:
+        return "BoundedTeacher(depth={})".format(self.depth)

@@ -174,3 +174,50 @@ on message rptUpd
   sessionState = 0;
 }
 """
+
+#: A UDS-style SecurityAccess gate in front of the OTA download step
+#: (paper Sec. V-B: the update session must not expose protected services
+#: before authentication).  Deliberately payload-free -- the protocol
+#: *order* is the whole state machine: a seed must be requested before a
+#: key is accepted, and downloads are served only once unlocked.  The
+#: golden learn corpus learns this machine black-box (bounded teacher:
+#: the extractor over-approximates the state-dependent branches).
+ECU_SECURITY_ACCESS_SOURCE = """\
+/*@!Encoding:1252*/
+// SecurityAccess-gated download handler: seed -> key -> unlock -> data.
+
+variables
+{
+  message rspSeed msgRspSeed;   // seed response
+  message rspOk msgRspOk;       // key accepted, session unlocked
+  message rspErr msgRspErr;     // rejected (no seed / still locked)
+  message rspData msgRspData;   // protected download payload
+  int seedGiven = 0;
+  int unlocked = 0;
+}
+
+on message reqSeed
+{
+  seedGiven = 1;
+  output(msgRspSeed);
+}
+
+on message sendKey
+{
+  if (seedGiven == 1) {
+    unlocked = 1;
+    output(msgRspOk);
+  } else {
+    output(msgRspErr);
+  }
+}
+
+on message reqDl
+{
+  if (unlocked == 1) {
+    output(msgRspData);
+  } else {
+    output(msgRspErr);
+  }
+}
+"""

@@ -26,6 +26,8 @@ from .gen import (
     Gen,
     booleans,
     capl_cases,
+    capl_precise_programs,
+    capl_precise_statements,
     capl_programs,
     capl_statements,
     frequency,
@@ -70,6 +72,8 @@ __all__ = [
     "PropertyFailure",
     "booleans",
     "capl_cases",
+    "capl_precise_programs",
+    "capl_precise_statements",
     "capl_programs",
     "capl_statements",
     "decode_value",

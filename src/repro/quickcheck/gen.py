@@ -413,6 +413,73 @@ def capl_programs(
     return Gen(draw)
 
 
+def capl_precise_statements() -> Gen:
+    """A statement from the extraction-*precise* CAPL fragment.
+
+    The extractor translates conditionals to choices over both branches
+    and loops to zero-or-more iterations -- sound over-approximations.
+    Bidirectional learned-vs-extracted equivalence therefore only holds
+    on the fragment the translation is *exact* for: straight-line
+    outputs/assigns/no-ops, plus control flow whose bodies transmit
+    nothing (silent branches and loops render away).  This generator
+    stays inside that fragment; its values shrink within it too (splicing
+    a silent body hoists assigns/no-ops only).
+    """
+    silent = ("assign", "noop")
+
+    def draw_silent(rng: random.Random) -> tuple:
+        kind = silent[rng.randrange(len(silent))]
+        if kind == "assign":
+            return ("assign", rng.randint(0, 3))
+        return ("noop",)
+
+    def draw(rng: random.Random) -> tuple:
+        # outputs over-weighted, as in capl_statements: multi-output
+        # activations are where the permutation widening must be exact
+        options = (
+            "output", "output", "output", "assign", "noop",
+            "if", "ifelse", "for",
+        )
+        kind = options[rng.randrange(len(options))]
+        if kind == "output":
+            return ("output", CAPL_RESPONSES[rng.randrange(len(CAPL_RESPONSES))])
+        if kind == "assign":
+            return ("assign", rng.randint(0, 3))
+        if kind == "noop":
+            return ("noop",)
+        if kind == "if":
+            return ("if", rng.randint(0, 2), (draw_silent(rng),))
+        if kind == "ifelse":
+            return ("ifelse", (draw_silent(rng),), (draw_silent(rng),))
+        return ("for", rng.randint(0, 2), (draw_silent(rng),))
+
+    return Gen(draw)
+
+
+def capl_precise_programs(
+    requests: Sequence[str] = CAPL_REQUESTS, max_statements: int = 4
+) -> Gen:
+    """A random CAPL program inside the extraction-precise fragment."""
+
+    def draw(rng: random.Random) -> CaplProgram:
+        pool = list(requests)
+        count = rng.randint(1, len(pool))
+        handled = rng.sample(pool, count)
+        handled.sort(key=pool.index)
+        statements = capl_precise_statements()
+        handlers = []
+        for selector in handled:
+            body = tuple(
+                statements(rng)
+                for _ in range(max(rng.randint(0, max_statements),
+                                   rng.randint(0, max_statements)))
+            )
+            handlers.append((selector, body))
+        return CaplProgram(handlers)
+
+    return Gen(draw)
+
+
 def stimuli_for(program: CaplProgram, min_size: int = 1, max_size: int = 4) -> Gen:
     """A random request sequence drawn from the program's own handlers."""
     return lists(sampled_from(program.handled()), min_size, max_size)

@@ -25,6 +25,7 @@ batch       the batch wire format or executor changes a verdict or trace
 result_cache a memoised verdict differs from a fresh execution's bytes
 roundtrip   emitting CSPm and re-parsing changes the trace semantics
 extractor   the CAPL interpreter exhibits a trace the extracted model lacks
+learned_vs_extracted a black-box learned model and the extracted model disagree
 ========== ==============================================================
 
 Every check raises :class:`OracleViolation` on disagreement and
@@ -578,6 +579,63 @@ def check_extractor(value) -> None:
         )
 
 
+# -- oracle: black-box learned model vs extracted model -----------------------------
+
+
+def check_learned_vs_extracted(program) -> None:
+    """Learning the black box reproduces the white-box extraction exactly.
+
+    Two fully independent routes to a model of the same CAPL program: the
+    syntax-directed extractor reads the source, while L* learning
+    (:mod:`repro.learn`) only ever *runs* it on the simulated bus.  On the
+    extraction-precise fragment (:func:`~repro.quickcheck.gen.capl_precise_programs`)
+    the two must be bidirectionally trace-equivalent; the reference
+    teacher detects any disagreement during learning as a
+    :class:`~repro.learn.DivergenceError` carrying a concrete witness
+    trace, pinning the bug to whichever side mispredicts the simulator.
+    """
+    from ..fdr.refine import check_trace_refinement
+    from ..learn import CaplSimulatorSUL, LearnError, ReferenceTeacher, learn
+    from ..translator import ModelExtractor
+
+    if not isinstance(program, CaplProgram) or not program.handlers:
+        raise Discard
+    source = program.render()
+    result = ModelExtractor().extract(source, "ECU")
+    model = result.load()
+    reference = compile_lts(model.process("ECU"), model.env, max_states=100_000)
+    sul = CaplSimulatorSUL(source, _CAPL_SPECS)
+    try:
+        learned = learn(
+            sul, teacher=ReferenceTeacher(reference), max_rounds=64
+        )
+    except LearnError as failure:
+        # DivergenceError (the differential signal) and non-convergence both
+        # mean the two model-building routes disagree about this program
+        raise OracleViolation(
+            "learned and extracted models disagree on\n{}\n{}".format(
+                source, failure
+            )
+        ) from failure
+    # belt and braces: re-check both [T= directions on the frozen result
+    sound = check_trace_refinement(reference, learned.lts)
+    complete = check_trace_refinement(learned.lts, reference)
+    if not sound.passed:
+        raise OracleViolation(
+            "converged learned model exhibits {} which the extracted model "
+            "forbids, on\n{}".format(
+                [str(e) for e in sound.counterexample.full_trace], source
+            )
+        )
+    if not complete.passed:
+        raise OracleViolation(
+            "extracted model admits {} which the learned model lacks, "
+            "on\n{}".format(
+                [str(e) for e in complete.counterexample.full_trace], source
+            )
+        )
+
+
 # -- oracle: flat-array kernel vs pre-refactor reference ----------------------------
 
 
@@ -813,6 +871,15 @@ _register(
         "repro.translator.extractor, repro.capl.interpreter",
         g.capl_cases(),
         check_extractor,
+    )
+)
+_register(
+    Oracle(
+        "learned_vs_extracted",
+        "black-box learned and extracted models are trace-equivalent",
+        "repro.learn, repro.translator.extractor",
+        g.capl_precise_programs(),
+        check_learned_vs_extracted,
     )
 )
 

@@ -35,13 +35,23 @@ class LogParseError(ValueError):
     """A log line is outside both supported formats.
 
     Carries the source path (when known) and 1-based line number, so a bad
-    line in trace 731 of a million-log fleet manifest is findable.
+    line in trace 731 of a million-log fleet manifest is findable.  Errors
+    about the file as a whole (a binary container, a non-UTF-8 blob) have
+    no meaningful line and carry ``line=None``.
     """
 
-    def __init__(self, message: str, line: int, path: Optional[str] = None) -> None:
-        where = "line {}".format(line)
-        if path:
+    def __init__(
+        self,
+        message: str,
+        line: Optional[int] = None,
+        path: Optional[str] = None,
+    ) -> None:
+        if line is None:
+            where = path if path else "log"
+        elif path:
             where = "{}:{}".format(path, line)
+        else:
+            where = "line {}".format(line)
         super().__init__("{}: {}".format(where, message))
         self.line = line
         self.path = path
@@ -214,12 +224,46 @@ def iter_records(
         yield parse(text, number, path)
 
 
+#: magic bytes of Vector's binary BLF container -- a format CANoe exports
+#: alongside the textual logs; the textual parsers would otherwise trip
+#: over it with a baffling per-line error deep into the decode
+_BLF_MAGIC = b"LOGG"
+
+
+def _reject_binary(path: str) -> None:
+    """Fail fast, and clearly, on binary log containers."""
+    try:
+        with open(path, "rb") as handle:
+            head = handle.read(len(_BLF_MAGIC))
+    except OSError:
+        return  # let the text open() report the real I/O problem
+    if head == _BLF_MAGIC:
+        raise LogParseError(
+            "BLF binary logs are not supported; export the trace as "
+            "candump text or tracelog JSONL",
+            path=path,
+        )
+
+
 def read_log(source: Union[str, IO[str]]) -> Iterator[LogRecord]:
-    """Stream the records of a log file (or open handle), format-detected."""
+    """Stream the records of a log file (or open handle), format-detected.
+
+    Binary inputs are rejected up front with a :class:`LogParseError`:
+    BLF containers by their ``LOGG`` magic, anything else binary when the
+    UTF-8 decode fails.
+    """
     if isinstance(source, str):
+        _reject_binary(source)
         with open(source, "r", encoding="utf-8") as handle:
-            for record in iter_records(handle, source):
-                yield record
+            try:
+                for record in iter_records(handle, source):
+                    yield record
+            except UnicodeDecodeError as error:
+                raise LogParseError(
+                    "log is not UTF-8 text (binary container?): "
+                    "{}".format(error),
+                    path=source,
+                ) from error
     else:
         for record in iter_records(source, getattr(source, "name", None)):
             yield record

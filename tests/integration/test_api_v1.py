@@ -29,6 +29,7 @@ V1_SURFACE = [
     "verify_requirements",
     "verify_traces",
     "extract_model",
+    "learn_model",
     "server_client",
 ]
 
@@ -159,3 +160,29 @@ class TestCheckFunctions:
         env = Environment()
         env.bind("AB", BINDINGS["AB"])
         assert api.check_refinement(ref("AB"), Prefix(A, STOP), "T", env=env).passed
+
+
+LEARNABLE = """\
+variables {
+  message rspX msgX;
+}
+on message reqA {
+  output(msgX);
+}
+"""
+
+
+class TestLearnModel:
+    def test_learn_model_agrees_with_extract_model(self):
+        result = api.learn_model(LEARNABLE)
+        assert result.state_count == 2
+        assert result.fingerprint().startswith("sha256:")
+        # the bounded teacher converges to the same automaton, black box
+        bounded = api.learn_model(LEARNABLE, teacher="bounded", depth=4)
+        assert bounded.fingerprint() == result.fingerprint()
+
+    def test_learn_model_rejects_unknown_teachers(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="teacher"):
+            api.learn_model(LEARNABLE, teacher="oracle")

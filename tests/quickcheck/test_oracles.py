@@ -28,6 +28,7 @@ EXPECTED_ORACLES = {
     "result_cache",
     "roundtrip",
     "extractor",
+    "learned_vs_extracted",
 }
 
 

@@ -146,3 +146,32 @@ class TestReadLog:
             (tmp_path / name).write_text("", encoding="utf-8")
         names = [p.rsplit("/", 1)[-1] for p in fleet_logs(str(tmp_path))]
         assert names == ["a.log", "b.jsonl"]
+
+
+class TestBinaryRejection:
+    def test_blf_container_is_rejected_by_magic(self, tmp_path):
+        path = tmp_path / "trace.log"
+        # a minimal Vector BLF header: the LOGG magic plus junk
+        path.write_bytes(b"LOGG" + bytes(range(32)))
+        with pytest.raises(LogParseError, match="BLF binary logs are not supported"):
+            load_log(str(path))
+
+    def test_blf_error_names_the_file_and_has_no_line(self, tmp_path):
+        path = tmp_path / "export.log"
+        path.write_bytes(b"LOGG\x00\x00\x00\x00")
+        with pytest.raises(LogParseError) as error:
+            load_log(str(path))
+        assert error.value.path == str(path)
+        assert error.value.line is None
+        assert str(path) in str(error.value)
+
+    def test_other_binary_blobs_fail_as_log_parse_errors(self, tmp_path):
+        path = tmp_path / "random.log"
+        path.write_bytes(b"\xff\xfe\x00\x01binary soup\x80\x80")
+        with pytest.raises(LogParseError, match="not UTF-8"):
+            load_log(str(path))
+
+    def test_text_logs_still_stream_from_paths(self, tmp_path):
+        path = tmp_path / "ok.log"
+        path.write_text(CANDUMP + "\n", encoding="utf-8")
+        assert load_log(str(path))[0].can_id == 0x101
